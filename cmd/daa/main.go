@@ -1,0 +1,152 @@
+// Command daa synthesizes a register-transfer design from an ISPS
+// behavioral description, reproducing the flow of the VLSI Design
+// Automation Assistant (Kowalski & Thomas, DAC 1983).
+//
+// Usage:
+//
+//	daa -in design.isps                 synthesize a file with the DAA
+//	daa -bench mcs6502                  synthesize an embedded benchmark
+//	daa -bench gcd -allocator leftedge  use a baseline allocator
+//	daa -bench gcd -trace               print every rule firing
+//	daa -bench gcd -control             print the derived control table
+//	daa -bench gcd -verilog             emit the datapath as Verilog
+//	daa -bench gcd -flow                emit the controller graph as DOT
+//	daa -bench gcd -no-cleanup          skip the global-improvement phase
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/alloc"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/isps"
+	"repro/internal/rtl"
+	"repro/internal/vt"
+)
+
+func main() {
+	var (
+		inFile    = flag.String("in", "", "ISPS source file to synthesize")
+		benchName = flag.String("bench", "", "embedded benchmark to synthesize (see -list)")
+		list      = flag.Bool("list", false, "list embedded benchmarks and exit")
+		allocator = flag.String("allocator", "daa", "allocator: daa, leftedge, or naive")
+		traceRun  = flag.Bool("trace", false, "print every rule firing (daa only)")
+		noCleanup = flag.Bool("no-cleanup", false, "skip the global-improvement phase (daa only)")
+		stats     = flag.Bool("stats", true, "print synthesis statistics (daa only)")
+		control   = flag.Bool("control", false, "print the derived control-signal table")
+		verilog   = flag.Bool("verilog", false, "emit the datapath as structural Verilog and exit")
+		flow      = flag.Bool("flow", false, "emit the controller state graph as Graphviz and exit")
+	)
+	flag.Parse()
+	if err := run(*inFile, *benchName, *list, *allocator, *traceRun, *noCleanup, *stats, *control, *verilog, *flow); err != nil {
+		fmt.Fprintln(os.Stderr, "daa:", err)
+		os.Exit(1)
+	}
+}
+
+func run(inFile, benchName string, list bool, allocator string, traceRun, noCleanup, stats, control, verilog, flow bool) error {
+	if list {
+		for _, n := range bench.Names() {
+			fmt.Println(n)
+		}
+		return nil
+	}
+	tr, err := loadTrace(inFile, benchName)
+	if err != nil {
+		return err
+	}
+	if verilog || flow {
+		stats = false // machine-readable outputs suppress the report
+	} else {
+		fmt.Printf("value trace: %s\n\n", tr.Stats())
+	}
+
+	var design *rtl.Design
+	switch allocator {
+	case "daa":
+		opt := core.Options{DisableCleanup: noCleanup}
+		if traceRun {
+			opt.Trace = os.Stdout
+		}
+		res, err := core.Synthesize(tr, opt)
+		if err != nil {
+			return err
+		}
+		design = res.Design
+		if stats {
+			fmt.Println("synthesis statistics:")
+			for _, ph := range res.Stats.Phases {
+				fmt.Printf("  %-12s rules=%-3d firings=%-5d wm-peak=%-5d %v\n",
+					ph.Name, ph.Rules, ph.Firings, ph.WMPeak, ph.Elapsed.Round(1000*1000))
+			}
+			fmt.Printf("  total firings %d in %v (%.0f/sec)\n\n",
+				res.Stats.TotalFirings, res.Stats.Elapsed.Round(1000*1000), res.Stats.FiringsPerSecond())
+		}
+	case "leftedge":
+		design, err = alloc.LeftEdge(tr, alloc.Options{})
+		if err != nil {
+			return err
+		}
+	case "naive":
+		design, err = alloc.Naive(tr, alloc.Options{})
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown allocator %q (want daa, leftedge, or naive)", allocator)
+	}
+
+	if verilog {
+		var sb strings.Builder
+		if err := design.WriteVerilog(&sb, design.Name); err != nil {
+			return err
+		}
+		fmt.Print(sb.String())
+		return nil
+	}
+	if flow {
+		return design.WriteControlFlowDot(os.Stdout)
+	}
+
+	fmt.Print(design.Report())
+	if cs, err := design.ControlStats(); err == nil {
+		fmt.Printf("  controller: %d states, %d control assertions (widest step %d)\n",
+			cs.States, cs.Signals, cs.MaxSignals)
+	}
+	fmt.Printf("\ngate equivalents: %v\n", cost.Default().Design(design))
+	if control {
+		fmt.Println("\ncontrol table:")
+		var sb strings.Builder
+		if err := design.WriteControlTable(&sb); err != nil {
+			return err
+		}
+		fmt.Print(sb.String())
+	}
+	return nil
+}
+
+func loadTrace(inFile, benchName string) (*vt.Program, error) {
+	switch {
+	case inFile != "" && benchName != "":
+		return nil, fmt.Errorf("use either -in or -bench, not both")
+	case benchName != "":
+		return bench.Load(benchName)
+	case inFile != "":
+		src, err := os.ReadFile(inFile)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := isps.Parse(inFile, string(src))
+		if err != nil {
+			return nil, err
+		}
+		return vt.Build(prog)
+	default:
+		return nil, fmt.Errorf("nothing to synthesize: pass -in file.isps or -bench name (see -list)")
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunListBenchmarks(t *testing.T) {
+	if err := run("", "", true, "daa", false, false, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEveryAllocator(t *testing.T) {
+	for _, a := range []string{"daa", "leftedge", "naive"} {
+		if err := run("", "gcd", false, a, false, false, false, false, false, false); err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+	}
+}
+
+func TestRunWithControlAndTrace(t *testing.T) {
+	if err := run("", "counter", false, "daa", true, false, true, true, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVerilog(t *testing.T) {
+	if err := run("", "gcd", false, "daa", false, false, false, false, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoCleanup(t *testing.T) {
+	if err := run("", "gcd", false, "daa", false, true, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.isps")
+	src := "processor X { reg A<7:0> main m { A := A + 1 } }"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "", false, "daa", false, false, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct{ in, bench, alloc string }{
+		{"", "", "daa"},      // nothing to synthesize
+		{"x", "y", "daa"},    // both inputs
+		{"", "gcd", "bogus"}, // unknown allocator
+		{"", "nope", "daa"},  // unknown benchmark
+		{"/no/such.isps", "", "daa"},
+	}
+	for _, c := range cases {
+		if err := run(c.in, c.bench, false, c.alloc, false, false, false, false, false, false); err == nil {
+			t.Errorf("run(%q,%q,%q): expected error", c.in, c.bench, c.alloc)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command daabench regenerates every table and figure of the reconstructed
+// evaluation (see DESIGN.md for the per-experiment index):
+//
+//	E1 / Table 1   knowledge-base inventory
+//	E2 / Table 2   MCS6502 design, DAA vs baselines
+//	E3 / Table 3   synthesis statistics on the MCS6502
+//	E4 / Figure 1  design evolution through the phases
+//	E5 / Figure 2  scaling across the benchmark suite
+//	E6 / Table 4   cross-benchmark design quality
+//	E7 (extension) knowledge-ablation study
+//
+// Usage:
+//
+//	daabench              run everything
+//	daabench -only E2     run one experiment
+//	daabench -bench gcd   use a different benchmark for E2/E3/E4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		only      = flag.String("only", "", "run a single experiment: E1..E7")
+		benchName = flag.String("bench", "mcs6502", "benchmark for E2, E3, and E4")
+	)
+	flag.Parse()
+	if err := run(strings.ToUpper(*only), *benchName); err != nil {
+		fmt.Fprintln(os.Stderr, "daabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(only, benchName string) error {
+	w := os.Stdout
+	switch only {
+	case "":
+		return exp.All(w)
+	case "E1":
+		exp.RenderE1(w)
+		return nil
+	case "E2":
+		return exp.RenderE2(w, benchName)
+	case "E3":
+		return exp.RenderE3(w, benchName)
+	case "E4":
+		return exp.RenderE4(w, benchName)
+	case "E5":
+		return exp.RenderE5(w)
+	case "E6":
+		return exp.RenderE6(w)
+	case "E7":
+		return exp.RenderE7(w)
+	default:
+		return fmt.Errorf("unknown experiment %q (want E1..E7)", only)
+	}
+}

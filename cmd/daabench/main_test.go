@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestSingleExperiments(t *testing.T) {
+	for _, e := range []string{"E1", "E2", "E3", "E4"} {
+		if err := run(e, "gcd"); err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run("E9", "gcd"); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	if err := run("E2", "nope"); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+}

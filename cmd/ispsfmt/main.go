@@ -1,0 +1,76 @@
+// Command ispsfmt parses an ISPS description and prints it back in
+// canonical form (gofmt for ISPS). With -check it exits nonzero when the
+// input is not already canonical.
+//
+// Usage:
+//
+//	ispsfmt design.isps           # print formatted source
+//	ispsfmt -check design.isps    # verify formatting
+//	ispsfmt -lint design.isps     # print description warnings
+//	ispsfmt -bench mcs6502        # format an embedded benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/isps"
+)
+
+func main() {
+	var (
+		check     = flag.Bool("check", false, "exit nonzero if not canonically formatted")
+		lint      = flag.Bool("lint", false, "print lint warnings and exit nonzero if any")
+		benchName = flag.String("bench", "", "format an embedded benchmark instead of a file")
+	)
+	flag.Parse()
+	if err := run(flag.Args(), *benchName, *check, *lint); err != nil {
+		fmt.Fprintln(os.Stderr, "ispsfmt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, benchName string, check, lint bool) error {
+	var name, src string
+	switch {
+	case benchName != "":
+		s, err := bench.Source(benchName)
+		if err != nil {
+			return err
+		}
+		name, src = benchName, s
+	case len(args) == 1:
+		b, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		name, src = args[0], string(b)
+	default:
+		return fmt.Errorf("pass exactly one file, or -bench name")
+	}
+	prog, err := isps.Parse(name, src)
+	if err != nil {
+		return err
+	}
+	if lint {
+		ws := isps.Lint(prog)
+		for _, w := range ws {
+			fmt.Println(w)
+		}
+		if len(ws) > 0 {
+			return fmt.Errorf("%d lint warnings", len(ws))
+		}
+		return nil
+	}
+	out := isps.Format(prog)
+	if check {
+		if out != src {
+			return fmt.Errorf("%s is not canonically formatted", name)
+		}
+		return nil
+	}
+	fmt.Print(out)
+	return nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/isps"
+)
+
+func TestFormatBench(t *testing.T) {
+	if err := run(nil, "gcd", false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckCanonical(t *testing.T) {
+	src, err := bench.Source("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := isps.Parse("counter", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.isps")
+	if err := os.WriteFile(path, []byte(isps.Format(prog)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{path}, "", true, false); err != nil {
+		t.Fatalf("canonical file failed -check: %v", err)
+	}
+	// The raw benchmark source is not canonical (comments, spacing).
+	raw := filepath.Join(dir, "raw.isps")
+	if err := os.WriteFile(raw, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{raw}, "", true, false); err == nil {
+		t.Error("non-canonical file passed -check")
+	}
+}
+
+func TestLintFlag(t *testing.T) {
+	// Clean benchmark: exit zero.
+	if err := run(nil, "gcd", false, true); err != nil {
+		t.Fatalf("clean benchmark failed lint: %v", err)
+	}
+	// Dirty file: nonzero.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.isps")
+	src := "processor P { reg A<7:0> reg GHOST main m { A := A } }"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{path}, "", false, true); err == nil {
+		t.Error("dirty description passed -lint")
+	}
+}
+
+func TestFormatErrors(t *testing.T) {
+	if err := run(nil, "", false, false); err == nil {
+		t.Error("expected error without input")
+	}
+	if err := run(nil, "nope", false, false); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+	if err := run([]string{"/no/such.isps"}, "", false, false); err == nil {
+		t.Error("expected error for missing file")
+	}
+}

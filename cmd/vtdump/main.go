@@ -1,0 +1,63 @@
+// Command vtdump prints the Value Trace of an ISPS description, either as
+// indented text (default) or as a Graphviz digraph (-dot).
+//
+// Usage:
+//
+//	vtdump -bench gcd
+//	vtdump -in design.isps -dot > trace.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/isps"
+	"repro/internal/vt"
+)
+
+func main() {
+	var (
+		inFile    = flag.String("in", "", "ISPS source file")
+		benchName = flag.String("bench", "", "embedded benchmark (see daa -list)")
+		dot       = flag.Bool("dot", false, "emit Graphviz instead of text")
+	)
+	flag.Parse()
+	if err := run(*inFile, *benchName, *dot); err != nil {
+		fmt.Fprintln(os.Stderr, "vtdump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(inFile, benchName string, dot bool) error {
+	var tr *vt.Program
+	var err error
+	switch {
+	case inFile != "" && benchName != "":
+		return fmt.Errorf("use either -in or -bench, not both")
+	case benchName != "":
+		tr, err = bench.Load(benchName)
+	case inFile != "":
+		var src []byte
+		src, err = os.ReadFile(inFile)
+		if err != nil {
+			return err
+		}
+		var prog *isps.Program
+		prog, err = isps.Parse(inFile, string(src))
+		if err != nil {
+			return err
+		}
+		tr, err = vt.Build(prog)
+	default:
+		return fmt.Errorf("pass -in file.isps or -bench name")
+	}
+	if err != nil {
+		return err
+	}
+	if dot {
+		return tr.WriteDot(os.Stdout)
+	}
+	return tr.Dump(os.Stdout)
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDumpBench(t *testing.T) {
+	if err := run("", "gcd", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "gcd", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDumpFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.isps")
+	if err := os.WriteFile(path, []byte("processor X { reg A main m { A := 1 } }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDumpErrors(t *testing.T) {
+	if err := run("", "", false); err == nil {
+		t.Error("expected error without input")
+	}
+	if err := run("a", "b", false); err == nil {
+		t.Error("expected error with both inputs")
+	}
+	if err := run("", "nope", false); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+}

@@ -1,0 +1,8 @@
+// Package repro reproduces "The VLSI Design Automation Assistant:
+// Prototype System" (Kowalski & Thomas, DAC 1983) as a Go library: an
+// ISPS front end (internal/isps), the Value Trace (internal/vt), an
+// OPS5-style production engine (internal/prod), the DAA rule base
+// (internal/core), baseline allocators (internal/alloc), and the
+// experiment harness (internal/exp). See README.md, DESIGN.md, and
+// EXPERIMENTS.md; bench_test.go regenerates every table and figure.
+package repro

@@ -1,0 +1,107 @@
+// Cosim: the verification story. The same 6502 machine-code program runs
+// through the behavioral ISPS interpreter and through the register-transfer
+// design the DAA synthesized, step by step; the architectural state must
+// agree. The example finishes by emitting the synthesized datapath as
+// structural Verilog.
+//
+//	go run ./examples/cosim
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/isps"
+	"repro/internal/rtlsim"
+	"repro/internal/sim"
+	"repro/internal/vt"
+)
+
+func main() {
+	src, err := bench.Source("mcs6502")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := isps.Parse("mcs6502", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := vt.Build(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A tiny program: sum 1..5 with a compare/branch loop substitute
+	// (unrolled adds), then store the total.
+	program := []uint64{
+		0xA9, 0x00, // LDA #0
+		0x18,       // CLC
+		0x69, 0x01, // ADC #1
+		0x69, 0x02, // ADC #2
+		0x69, 0x03, // ADC #3
+		0x69, 0x04, // ADC #4
+		0x69, 0x05, // ADC #5
+		0x85, 0x42, // STA $42
+	}
+	const cycles = 8
+
+	// Reference: the behavioral ISPS interpreter.
+	ref := sim.New(prog)
+	ref.Load("M", 0x0200, program)
+	ref.Set("PC", 0x0200)
+	ref.Set("S", 0xFF)
+	if err := ref.RunN(cycles); err != nil {
+		log.Fatal(err)
+	}
+
+	// Device under test: the DAA's synthesized design, executed at the
+	// control-step level.
+	res, err := core.Synthesize(trace, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dut, err := rtlsim.New(res.Design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dut.Load("M", 0x0200, program)
+	dut.Set("PC", 0x0200)
+	dut.Set("S", 0xFF)
+	if err := dut.RunN(cycles); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("co-simulation of the MCS6502 design vs the behavioral reference:")
+	agree := true
+	for _, reg := range []string{"A", "X", "Y", "S", "P", "PC"} {
+		want, _ := ref.Get(reg)
+		got, _ := dut.Get(reg)
+		status := "ok"
+		if got != want {
+			status = "MISMATCH"
+			agree = false
+		}
+		fmt.Printf("  %-3s behavioral=%#04x design=%#04x  %s\n", reg, want, got, status)
+	}
+	w, _ := ref.Mem("M", 0x42)
+	g, _ := dut.Mem("M", 0x42)
+	fmt.Printf("  M[$42] behavioral=%d design=%d (1+2+3+4+5 = 15)\n", w, g)
+	if !agree || w != g || w != 15 {
+		log.Fatal("designs disagree")
+	}
+
+	fmt.Println("\nfirst lines of the exported structural Verilog:")
+	var sb strings.Builder
+	if err := res.Design.WriteVerilog(&sb, "mcs6502_datapath"); err != nil {
+		log.Fatal(err)
+	}
+	lines := strings.SplitN(sb.String(), "\n", 16)
+	for _, l := range lines[:15] {
+		fmt.Println("  " + l)
+	}
+	fmt.Printf("  ... (%d lines total; control inputs asserted per Design.ControlTable)\n",
+		strings.Count(sb.String(), "\n"))
+}

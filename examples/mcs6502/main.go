@@ -1,0 +1,63 @@
+// The paper's case study: synthesize the MOS Technology MCS6502 from its
+// ISPS description and compare the knowledge-based design against the
+// baselines, as the DAC 1983 evaluation did.
+//
+//	go run ./examples/mcs6502
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/alloc"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/report"
+)
+
+func main() {
+	trace, err := bench.Load("mcs6502")
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := trace.Stats()
+	fmt.Printf("MCS6502 value trace: %d operators in %d bodies over %d carriers\n\n",
+		st.Ops, st.Bodies, st.Carriers)
+
+	daa, err := core.Synthesize(trace, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	le, err := alloc.LeftEdge(trace, alloc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	naive, err := alloc.Naive(trace, alloc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	model := cost.Default()
+	t := report.New("MCS6502: knowledge-based design vs baselines",
+		"allocator", "regs", "units", "unit fns", "muxes", "links", "states", "gate equiv")
+	dc, lc, nc := daa.Design.Counts(), le.Counts(), naive.Counts()
+	t.Row("daa", dc.Registers, dc.Units, dc.UnitFns, dc.Muxes, dc.Links, dc.States, model.Design(daa.Design).Datapath)
+	t.Row("left-edge", lc.Registers, lc.Units, lc.UnitFns, lc.Muxes, lc.Links, lc.States, model.Design(le).Datapath)
+	t.Row("naive", nc.Registers, nc.Units, nc.UnitFns, nc.Muxes, nc.Links, nc.States, model.Design(naive).Datapath)
+	t.Note("naive/daa: %.2fx fewer gate equivalents with the knowledge rules", model.Ratio(naive, daa.Design))
+	t.Render(os.Stdout)
+
+	fmt.Println("DAA functional units (the paper reported a small ALU set):")
+	for _, u := range daa.Design.Units {
+		fmt.Printf("  %s\n", u)
+	}
+	fmt.Println()
+	fmt.Println("synthesis statistics:")
+	for _, ph := range daa.Stats.Phases {
+		fmt.Printf("  %-12s %5d firings  %v\n", ph.Name, ph.Firings, ph.Elapsed.Round(1000*1000))
+	}
+	fmt.Printf("  total %d firings, %.0f/sec (the 1983 VAX OPS5 managed ~2/sec)\n",
+		daa.Stats.TotalFirings, daa.Stats.FiringsPerSecond())
+}

@@ -1,0 +1,220 @@
+// Package alloc implements the non-knowledge-based baseline allocators the
+// DAA paper series compared against:
+//
+//   - Naive is the maximal design: one functional unit per operator, one
+//     holding register per intermediate value, no sharing of anything. It
+//     corresponds to a direct reading of the value trace — the design the
+//     DAA's global-improvement rules exist to beat.
+//   - LeftEdge is the classical algorithmic allocator: resource-constrained
+//     list scheduling, greedy per-kind functional-unit sharing, and
+//     left-edge interval packing of holding registers (Hashimoto–Stevens,
+//     as used by the CMU-DA algorithmic tools contemporary with the DAA).
+//
+// Both produce complete, validated rtl.Designs through the same
+// policy-free binder (internal/bind), so the comparison isolates
+// allocation policy exactly as the paper's did.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bind"
+	"repro/internal/rtl"
+	"repro/internal/sched"
+	"repro/internal/vt"
+)
+
+// unitWidth is the width a unit needs to execute op.
+func unitWidth(op *vt.Op) int {
+	w := 0
+	for _, a := range op.Args {
+		if a.Width > w {
+			w = a.Width
+		}
+	}
+	if op.Result != nil && op.Result.Width > w {
+		w = op.Result.Width
+	}
+	return w
+}
+
+// Naive builds the maximal design with no hardware sharing. It schedules
+// under the same limits as the other allocators (defaulting to one unit
+// per operation kind), so the three designs implement identical control
+// steps and the comparison isolates binding policy, as the paper's did.
+func Naive(trace *vt.Program, opt Options) (*rtl.Design, error) {
+	d := rtl.NewDesign(trace.Name+"-naive", trace)
+	bind.Carriers(d)
+	bind.ApplySchedule(d, sched.Program(trace, defaultLimits(trace, opt.Limits)))
+	for _, op := range trace.AllOps() {
+		if op.Kind.IsCompute() {
+			d.OpUnit[op] = d.AddUnit(fmt.Sprintf("u%d.%s", op.ID, op.Kind), unitWidth(op), op.Kind)
+		}
+	}
+	for i, v := range bind.CrossingValues(d) {
+		d.ValueReg[v] = d.AddRegister(fmt.Sprintf("t%d", i), v.Width)
+	}
+	if err := bind.Wire(d); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("alloc: naive design invalid: %v", err)
+	}
+	return d, nil
+}
+
+// Options configures the baseline allocators.
+type Options struct {
+	// Limits constrains the list scheduler. When UnitsPerKind is nil, every
+	// compute kind present in the trace is capped at one unit, the
+	// minimum-hardware operating point of the classical allocators and the
+	// DAA's default.
+	Limits sched.Limits
+}
+
+// defaultLimits fills in the one-unit-per-kind default.
+func defaultLimits(trace *vt.Program, lim sched.Limits) sched.Limits {
+	if lim.UnitsPerKind == nil {
+		lim.UnitsPerKind = map[vt.OpKind]int{}
+		for _, op := range trace.AllOps() {
+			if op.Kind.IsCompute() {
+				lim.UnitsPerKind[op.Kind] = 1
+			}
+		}
+	}
+	return lim
+}
+
+// LeftEdge builds a design with greedy functional-unit sharing and
+// left-edge holding-register packing.
+func LeftEdge(trace *vt.Program, opt Options) (*rtl.Design, error) {
+	lim := defaultLimits(trace, opt.Limits)
+	d := rtl.NewDesign(trace.Name+"-leftedge", trace)
+	bind.Carriers(d)
+	bind.ApplySchedule(d, sched.Program(trace, lim))
+	shareUnits(d)
+	packRegisters(d)
+	if err := bind.Wire(d); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("alloc: left-edge design invalid: %v", err)
+	}
+	return d, nil
+}
+
+// shareUnits binds compute operators to per-kind unit pools: within a
+// control step each concurrent operator of a kind gets its own unit; across
+// steps units are reused. Unit widths grow to the widest operator bound.
+func shareUnits(d *rtl.Design) {
+	pools := map[vt.OpKind][]*rtl.Unit{}
+	// Deterministic order: by state ID then op sequence.
+	ops := computeOps(d)
+	lastState := map[*rtl.Unit]*rtl.State{}
+	for _, op := range ops {
+		s := d.OpState[op]
+		var unit *rtl.Unit
+		for _, u := range pools[op.Kind] {
+			if lastState[u] != s {
+				unit = u
+				break
+			}
+		}
+		if unit == nil {
+			unit = d.AddUnit(fmt.Sprintf("%s%d", op.Kind, len(pools[op.Kind])), unitWidth(op), op.Kind)
+			pools[op.Kind] = append(pools[op.Kind], unit)
+		}
+		if w := unitWidth(op); w > unit.Width {
+			unit.Width = w
+		}
+		lastState[unit] = s
+		d.OpUnit[op] = unit
+	}
+}
+
+// computeOps returns the trace's compute operators ordered by control step
+// then program order. Operators in different bodies never execute
+// concurrently (control is a single sequential machine), so the only
+// conflict to avoid is two operators on one unit in one step.
+func computeOps(d *rtl.Design) []*vt.Op {
+	var ops []*vt.Op
+	for _, op := range d.Trace.AllOps() {
+		if op.Kind.IsCompute() {
+			ops = append(ops, op)
+		}
+	}
+	sort.Slice(ops, func(i, j int) bool {
+		si, sj := d.OpState[ops[i]], d.OpState[ops[j]]
+		if si.ID != sj.ID {
+			return si.ID < sj.ID
+		}
+		return ops[i].Seq < ops[j].Seq
+	})
+	return ops
+}
+
+// packRegisters allocates holding registers by the left-edge algorithm,
+// packing value lifetimes within each body into shared register tracks.
+// Parking happens at end-of-step, so a track is free for a new value whose
+// start is at or after the previous occupant's last read.
+func packRegisters(d *rtl.Design) {
+	type track struct {
+		body  string
+		width int
+		hi    int
+		vals  []*vt.Value
+	}
+	byBody := map[string][]*vt.Value{}
+	for _, v := range bind.CrossingValues(d) {
+		body := v.Def.Body.Name
+		byBody[body] = append(byBody[body], v)
+	}
+	bodies := make([]string, 0, len(byBody))
+	for b := range byBody {
+		bodies = append(bodies, b)
+	}
+	sort.Strings(bodies)
+	var tracks []*track
+	assign := map[*vt.Value]*track{}
+	for _, body := range bodies {
+		vals := byBody[body]
+		sort.Slice(vals, func(i, j int) bool {
+			li, _ := bind.Lifetime(d, vals[i])
+			lj, _ := bind.Lifetime(d, vals[j])
+			if li != lj {
+				return li < lj
+			}
+			return vals[i].ID < vals[j].ID
+		})
+		var local []*track
+		for _, v := range vals {
+			lo, hi := bind.Lifetime(d, v)
+			var tr *track
+			for _, cand := range local {
+				if cand.hi <= lo {
+					tr = cand
+					break
+				}
+			}
+			if tr == nil {
+				tr = &track{body: body}
+				local = append(local, tr)
+				tracks = append(tracks, tr)
+			}
+			tr.hi = hi
+			if v.Width > tr.width {
+				tr.width = v.Width
+			}
+			tr.vals = append(tr.vals, v)
+			assign[v] = tr
+		}
+	}
+	regs := map[*track]*rtl.Register{}
+	for i, tr := range tracks {
+		regs[tr] = d.AddRegister(fmt.Sprintf("t%d", i), tr.width)
+	}
+	for v, tr := range assign {
+		d.ValueReg[v] = regs[tr]
+	}
+}

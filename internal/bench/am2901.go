@@ -1,0 +1,87 @@
+package bench
+
+// AM2901 is the AMD Am2901 four-bit bit-slice ALU: a 16-word register
+// file, the Q register, the three-field microinstruction decode (source
+// operands, ALU function, destination/shift), and the status outputs.
+const AM2901 = `
+! AMD Am2901 4-bit microprocessor slice.
+processor AM2901 {
+    mem RAM[0:15]<3:0>      ! two-port register file (modeled single-port)
+    reg Q<3:0>              ! Q register
+    reg F<3:0>              ! ALU result latch
+    reg RA<3:0>             ! A-operand latch
+    reg RB<3:0>             ! B-operand latch
+    reg R4<3:0>             ! selected R operand
+    reg S4<3:0>             ! selected S operand
+    reg T5<4:0>             ! ALU result with carry
+
+    port in  I<8:0>         ! microinstruction: dest<8:6> fn<5:3> src<2:0>
+    port in  AADR<3:0>      ! register-file A address
+    port in  BADR<3:0>      ! register-file B address
+    port in  D<3:0>         ! direct data input
+    port in  CIN            ! carry in
+    port out Y<3:0>         ! data output
+    port out COUT           ! carry out
+    port out FZERO          ! F = 0 flag
+    port out F3             ! F sign flag
+
+    ! Latch the register-file operands addressed by A and B.
+    proc operands {
+        RA := RAM[AADR]
+        RB := RAM[BADR]
+    }
+
+    ! Source-operand decode (I2..I0): choose R and S from {A, B, D, Q, 0}.
+    proc source {
+        decode I<2:0> {
+            0: { R4 := RA  S4 := Q }            ! AQ
+            1: { R4 := RA  S4 := RB }           ! AB
+            2: { R4 := 0   S4 := Q }            ! ZQ
+            3: { R4 := 0   S4 := RB }           ! ZB
+            4: { R4 := 0   S4 := RA }           ! ZA
+            5: { R4 := D   S4 := RA }           ! DA
+            6: { R4 := D   S4 := Q }            ! DQ
+            otherwise: { R4 := D  S4 := 0 }     ! DZ
+        }
+    }
+
+    ! ALU-function decode (I5..I3): three arithmetic, five logical.
+    proc function {
+        decode I<5:3> {
+            0: T5 := (0b0 @ R4) + (0b0 @ S4) + CIN          ! ADD
+            1: T5 := (0b0 @ S4) - (0b0 @ R4) - 1 + CIN      ! SUBR
+            2: T5 := (0b0 @ R4) - (0b0 @ S4) - 1 + CIN      ! SUBS
+            3: T5 := R4 or S4                               ! OR
+            4: T5 := R4 and S4                              ! AND
+            5: T5 := (not R4) and S4                        ! NOTRS
+            6: T5 := R4 xor S4                              ! EXOR
+            otherwise: T5 := not (R4 xor S4)                ! EXNOR
+        }
+        F := T5<3:0>
+        COUT := T5<4:4>
+        FZERO := F eql 0
+        F3 := F<3:3>
+    }
+
+    ! Destination decode (I8..I6): write-back and up/down shifts.
+    proc destination {
+        decode I<8:6> {
+            0: Q := F                                       ! QREG
+            1: nop                                          ! NOP
+            2: RAM[BADR] := F                               ! RAMA
+            3: RAM[BADR] := F                               ! RAMF
+            4: { RAM[BADR] := F srl 1  Q := Q srl 1 }       ! RAMQD
+            5: RAM[BADR] := F srl 1                         ! RAMD
+            6: { RAM[BADR] := F sll 1  Q := Q sll 1 }       ! RAMQU
+            otherwise: RAM[BADR] := F sll 1                 ! RAMU
+        }
+        Y := F
+    }
+
+    main cycle {
+        call operands
+        call source
+        call function
+        call destination
+    }
+}`

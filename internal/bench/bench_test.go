@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/isps"
+	"repro/internal/vt"
+)
+
+func TestAllBenchmarksLoad(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			tr, err := Load(name)
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			if tr.OpCount() == 0 {
+				t.Fatal("empty trace")
+			}
+		})
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	if _, err := Load("nope"); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+	if _, err := Source("nope"); err == nil {
+		t.Fatal("expected error for unknown source")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 9 {
+		t.Fatalf("benchmarks %d, want 9: %v", len(names), names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestMCS6502Shape(t *testing.T) {
+	tr, err := Load("mcs6502")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's subject: all six architectural registers plus the 64K
+	// memory must be present.
+	for _, reg := range []string{"A", "X", "Y", "S", "P", "PC", "IR"} {
+		if tr.CarrierByName(reg) == nil {
+			t.Errorf("missing carrier %s", reg)
+		}
+	}
+	m := tr.CarrierByName("M")
+	if m == nil || m.Words != 65536 || m.Width != 8 {
+		t.Fatalf("memory: %v", m)
+	}
+	// Representative size: the description must be on the order of the
+	// paper's (hundreds of VT operators, dozens of bodies).
+	st := tr.Stats()
+	if st.Ops < 400 {
+		t.Errorf("ops %d, want a substantial description (>= 400)", st.Ops)
+	}
+	if st.Bodies < 90 {
+		t.Errorf("bodies %d, want >= 90 (decode arms and procedures)", st.Bodies)
+	}
+	// The execute decode must have ~90 arms.
+	var sel *vt.Op
+	for _, op := range tr.AllOps() {
+		if op.Kind == vt.OpSelect && len(op.Branches) > 20 {
+			sel = op
+		}
+	}
+	if sel == nil {
+		t.Fatal("no wide decode found")
+	}
+	if len(sel.Branches) < 80 {
+		t.Errorf("decode arms %d, want >= 80", len(sel.Branches))
+	}
+}
+
+func TestAM2901Shape(t *testing.T) {
+	tr, err := Load("am2901")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.CarrierByName("RAM") == nil || tr.CarrierByName("Q") == nil {
+		t.Fatal("missing register file or Q register")
+	}
+	selects := 0
+	for _, op := range tr.AllOps() {
+		if op.Kind == vt.OpSelect {
+			selects++
+		}
+	}
+	if selects < 3 {
+		t.Errorf("selects %d, want >= 3 (source, function, destination decodes)", selects)
+	}
+}
+
+func TestBenchmarksHaveDistinctSizes(t *testing.T) {
+	// Scaling experiment E5 needs a spread of description sizes.
+	sizes := map[string]int{}
+	for _, name := range Names() {
+		tr, err := Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[name] = tr.OpCount()
+	}
+	if sizes["mcs6502"] <= sizes["am2901"] {
+		t.Errorf("mcs6502 (%d ops) should dominate am2901 (%d)", sizes["mcs6502"], sizes["am2901"])
+	}
+	if sizes["counter"] >= sizes["gcd"]*4 {
+		t.Errorf("counter (%d ops) should be tiny vs gcd (%d)", sizes["counter"], sizes["gcd"])
+	}
+}
+
+func TestBenchmarksFormatRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			src, err := Source(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := isps.Parse(name, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := isps.Format(prog)
+			re, err := isps.Parse(name+".fmt", out)
+			if err != nil {
+				t.Fatalf("formatted source does not parse: %v", err)
+			}
+			if isps.Format(re) != out {
+				t.Fatal("formatting not idempotent")
+			}
+			// The formatted source builds an equivalent trace.
+			tr1, err := vt.Build(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr2, err := vt.Build(re)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr1.OpCount() != tr2.OpCount() || len(tr1.Bodies) != len(tr2.Bodies) {
+				t.Fatalf("trace changed: %d/%d ops, %d/%d bodies",
+					tr2.OpCount(), tr1.OpCount(), len(tr2.Bodies), len(tr1.Bodies))
+			}
+		})
+	}
+}

@@ -1,0 +1,152 @@
+package bench
+
+// IBM370 is a subset of the IBM System/370 — the machine the DAA team
+// synthesized after the 6502 ("From Algorithms to Silicon", IEEE D&T
+// 1985). The description models byte-addressed storage, the sixteen
+// 32-bit general registers as a register file, the condition code, and
+// the RR and RX instruction formats over a representative opcode set:
+// loads, stores, register and storage arithmetic, logical operations,
+// compares, load address, and the conditional/linkage branches.
+//
+// Simplifications: a 64K storage model with 16-bit instruction
+// addressing, no RX index register (X2 is parsed and ignored), no
+// overflow condition (CC=3 never set by arithmetic), and logical
+// compares approximated by the arithmetic compare. None of these alter
+// the allocation problem: the structural stress is the wide DECODE over
+// multi-byte instruction fetch sequences sharing the register file port.
+const IBM370 = `
+! IBM System/370 subset, RR and RX formats.
+processor IBM370 {
+    mem M[0:65535]<7:0>     ! main storage, byte addressed
+    mem R[0:15]<31:0>       ! general registers
+
+    reg IA<15:0>            ! instruction address
+    reg CC<1:0>             ! condition code
+    reg OPC<7:0>            ! opcode
+    reg F1<3:0>             ! first field: R1 or branch mask
+    reg F2<3:0>             ! second field: R2 or X2
+    reg B2<3:0>             ! base register
+    reg D2<11:0>            ! displacement
+    reg AD2<15:0>           ! effective address
+    reg DL<7:0>             ! storage data latch
+    reg W<31:0>             ! operand/result word
+    reg T33<32:0>           ! arithmetic result with carry
+
+    ! --- instruction fetch -----------------------------------------------
+    proc fetch_opcode {
+        OPC := M[IA]
+        IA := IA + 1
+    }
+    proc fetch_rr {         ! second byte: R1, R2
+        DL := M[IA]
+        F1 := DL<7:4>
+        F2 := DL<3:0>
+        IA := IA + 1
+    }
+    proc fetch_rx {         ! R1/X2 byte then B2/D2 halfword
+        call fetch_rr
+        DL := M[IA]
+        B2 := DL<7:4>
+        D2<11:8> := DL<3:0>
+        IA := IA + 1
+        DL := M[IA]
+        D2<7:0> := DL
+        IA := IA + 1
+        if B2 neq 0 {
+            AD2 := R[B2]<15:0> + D2
+        } else {
+            AD2 := D2
+        }
+    }
+
+    ! --- storage access (big endian words) --------------------------------
+    proc load_word {
+        W<31:24> := M[AD2]
+        W<23:16> := M[AD2 + 1]
+        W<15:8>  := M[AD2 + 2]
+        W<7:0>   := M[AD2 + 3]
+    }
+    proc store_word {
+        W := R[F1]
+        M[AD2]     := W<31:24>
+        M[AD2 + 1] := W<23:16>
+        M[AD2 + 2] := W<15:8>
+        M[AD2 + 3] := W<7:0>
+    }
+
+    ! --- condition code from the result in W -------------------------------
+    proc setcc {
+        if W eql 0 {
+            CC := 0
+        } else {
+            if W<31:31> { CC := 1 } else { CC := 2 }
+        }
+    }
+
+    ! --- arithmetic on R[F1] with operand W --------------------------------
+    proc add_r {
+        T33 := (0b0 @ R[F1]) + (0b0 @ W)
+        W := T33<31:0>
+        R[F1] := W
+        call setcc
+    }
+    proc sub_r {
+        T33 := (0b0 @ R[F1]) - (0b0 @ W)
+        W := T33<31:0>
+        R[F1] := W
+        call setcc
+    }
+    proc cmp_r {
+        T33 := (0b0 @ R[F1]) - (0b0 @ W)
+        W := T33<31:0>
+        call setcc
+    }
+
+    ! --- branch on condition: F1 is the mask, one bit per CC value ----------
+    proc branch_on_cc {
+        decode CC {
+            0: if F1<3:3> { IA := AD2 }
+            1: if F1<2:2> { IA := AD2 }
+            2: if F1<1:1> { IA := AD2 }
+            otherwise: if F1<0:0> { IA := AD2 }
+        }
+    }
+
+    ! --- execute ------------------------------------------------------------
+    proc execute {
+        decode OPC {
+            0x18: { call fetch_rr  W := R[F2]  R[F1] := W }              ! LR
+            0x1A: { call fetch_rr  W := R[F2]  call add_r }              ! AR
+            0x1B: { call fetch_rr  W := R[F2]  call sub_r }              ! SR
+            0x19: { call fetch_rr  W := R[F2]  call cmp_r }              ! CR
+            0x14: { call fetch_rr  W := R[F1] and R[F2]  R[F1] := W  call setcc } ! NR
+            0x16: { call fetch_rr  W := R[F1] or R[F2]   R[F1] := W  call setcc } ! OR
+            0x17: { call fetch_rr  W := R[F1] xor R[F2]  R[F1] := W  call setcc } ! XR
+            0x58: { call fetch_rx  call load_word  R[F1] := W }          ! L
+            0x50: { call fetch_rx  call store_word }                     ! ST
+            0x5A: { call fetch_rx  call load_word  call add_r }          ! A
+            0x5B: { call fetch_rx  call load_word  call sub_r }          ! S
+            0x59: { call fetch_rx  call load_word  call cmp_r }          ! C
+            0x41: { call fetch_rx  R[F1] := AD2 }                        ! LA
+            0x47: { call fetch_rx  call branch_on_cc }                   ! BC
+            0x07: {                                                      ! BCR
+                call fetch_rr
+                AD2 := R[F2]<15:0>
+                if F2 neq 0 { call branch_on_cc }
+            }
+            0x45: { call fetch_rx  R[F1] := IA  IA := AD2 }              ! BAL
+            0x05: {                                                      ! BALR
+                call fetch_rr
+                W := IA
+                R[F1] := W
+                if F2 neq 0 { IA := R[F2]<15:0> }
+            }
+            otherwise: nop
+        }
+    }
+
+    main cycle {
+        call fetch_opcode
+        call execute
+    }
+}`

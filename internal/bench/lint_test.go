@@ -1,0 +1,24 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/isps"
+)
+
+// The benchmark descriptions themselves must lint clean: the assistant
+// should not be fed descriptions it would critique.
+func TestBenchmarksLintClean(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			src, _ := Source(name)
+			prog, err := isps.Parse(name, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range isps.Lint(prog) {
+				t.Errorf("%v", w)
+			}
+		})
+	}
+}

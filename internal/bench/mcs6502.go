@@ -1,0 +1,360 @@
+package bench
+
+// MCS6502 is a representative ISPS description of the MOS Technology
+// MCS6502, the microprocessor the DAA paper synthesized. It models the
+// complete architectural register file (A, X, Y, S, P, PC), a 64K byte
+// memory, the fetch/decode/execute control skeleton, reset and interrupt
+// sequencing, the major addressing modes, and a cross-section of the
+// instruction set covering every opcode class: loads/stores, the ALU
+// group, compares, increments, shifts/rotates, register transfers, stack
+// operations, jumps/subroutines, conditional branches, and flag
+// operations.
+//
+// Simplifications versus the full part (documented per DESIGN.md):
+// decimal mode is ignored, branch offsets are treated as unsigned, and
+// page-crossing timing artifacts do not exist at this level. Neither
+// affects the allocation problem the DAA solves — the structural stress is
+// the ~90 mutually exclusive DECODE arms sharing carriers and operators.
+const MCS6502 = `
+! MOS Technology MCS6502, ISPS description for synthesis.
+processor MCS6502 {
+    mem M[0:65535]<7:0>
+
+    ! Architectural registers.
+    reg A<7:0>          ! accumulator
+    reg X<7:0>          ! index X
+    reg Y<7:0>          ! index Y
+    reg S<7:0>          ! stack pointer (page 1)
+    reg P<7:0>          ! status: N V - B D I Z C
+    reg PC<15:0>        ! program counter
+
+    ! Implementation registers.
+    reg IR<7:0>         ! instruction register
+    reg AD<15:0>        ! effective-address buffer
+    reg DL<7:0>         ! data latch
+    reg T9<8:0>         ! ALU result with carry
+    reg TC              ! shifter carry temporary
+
+    port in  RES        ! reset request
+    port in  IRQ        ! interrupt request
+    port out SYNC       ! opcode-fetch marker
+
+    ! --- instruction fetch -------------------------------------------------
+    proc fetch {
+        SYNC := 1
+        IR := M[PC]
+        PC := PC + 1
+        SYNC := 0
+    }
+
+    ! --- addressing modes --------------------------------------------------
+    proc operand_imm {          ! #imm: operand follows the opcode
+        DL := M[PC]
+        PC := PC + 1
+    }
+    proc addr_zp {              ! zero page
+        AD := M[PC]
+        PC := PC + 1
+    }
+    proc addr_zpx {             ! zero page indexed by X
+        AD := M[PC] + X
+        PC := PC + 1
+    }
+    proc addr_abs {             ! absolute
+        AD<7:0> := M[PC]
+        PC := PC + 1
+        AD<15:8> := M[PC]
+        PC := PC + 1
+    }
+    proc addr_absx {            ! absolute indexed by X
+        call addr_abs
+        AD := AD + X
+    }
+    proc addr_absy {            ! absolute indexed by Y
+        call addr_abs
+        AD := AD + Y
+    }
+    proc addr_izx {             ! (zp,X): pre-indexed indirect
+        DL := M[PC] + X
+        PC := PC + 1
+        AD<7:0> := M[DL]
+        AD<15:8> := M[DL + 1]
+    }
+    proc addr_izy {             ! (zp),Y: post-indexed indirect
+        DL := M[PC]
+        PC := PC + 1
+        AD<7:0> := M[DL]
+        AD<15:8> := M[DL + 1]
+        AD := AD + Y
+    }
+    proc load { DL := M[AD] }
+
+    ! --- flags ---------------------------------------------------------
+    proc setnz {                ! N and Z from the data latch
+        P<1:1> := DL eql 0
+        P<7:7> := DL<7:7>
+    }
+
+    ! --- ALU group -----------------------------------------------------
+    proc adc {                  ! add with carry, sets N V Z C
+        T9 := (0b0 @ A) + (0b0 @ DL) + P<0:0>
+        P<6:6> := (A<7:7> eql DL<7:7>) and (A<7:7> neq T9<7:7>)
+        A := T9<7:0>
+        P<0:0> := T9<8:8>
+        DL := A
+        call setnz
+    }
+    proc sbc {                  ! subtract with borrow, sets N V Z C
+        T9 := (0b0 @ A) - (0b0 @ DL) - 1 + P<0:0>
+        P<6:6> := (A<7:7> neq DL<7:7>) and (A<7:7> neq T9<7:7>)
+        A := T9<7:0>
+        P<0:0> := not T9<8:8>
+        DL := A
+        call setnz
+    }
+    proc and_a {
+        A := A and DL
+        DL := A
+        call setnz
+    }
+    proc ora_a {
+        A := A or DL
+        DL := A
+        call setnz
+    }
+    proc eor_a {
+        A := A xor DL
+        DL := A
+        call setnz
+    }
+    proc cmp_a {                ! compare accumulator
+        T9 := (0b0 @ A) - (0b0 @ DL)
+        P<0:0> := not T9<8:8>
+        DL := T9<7:0>
+        call setnz
+    }
+    proc cmp_x {
+        T9 := (0b0 @ X) - (0b0 @ DL)
+        P<0:0> := not T9<8:8>
+        DL := T9<7:0>
+        call setnz
+    }
+    proc cmp_y {
+        T9 := (0b0 @ Y) - (0b0 @ DL)
+        P<0:0> := not T9<8:8>
+        DL := T9<7:0>
+        call setnz
+    }
+
+    ! --- shifts and rotates on the accumulator --------------------------
+    proc asl_a {
+        P<0:0> := A<7:7>
+        A := A sll 1
+        DL := A
+        call setnz
+    }
+    proc lsr_a {
+        P<0:0> := A<0:0>
+        A := A srl 1
+        DL := A
+        call setnz
+    }
+    proc rol_a {
+        TC := A<7:7>
+        A := A sll 1
+        A<0:0> := P<0:0>
+        P<0:0> := TC
+        DL := A
+        call setnz
+    }
+    proc ror_a {
+        TC := A<0:0>
+        A := A srl 1
+        A<7:7> := P<0:0>
+        P<0:0> := TC
+        DL := A
+        call setnz
+    }
+
+    ! --- read-modify-write memory operations ----------------------------
+    proc inc_m {
+        DL := M[AD] + 1
+        M[AD] := DL
+        call setnz
+    }
+    proc dec_m {
+        DL := M[AD] - 1
+        M[AD] := DL
+        call setnz
+    }
+    proc asl_m {
+        DL := M[AD]
+        P<0:0> := DL<7:7>
+        DL := DL sll 1
+        M[AD] := DL
+        call setnz
+    }
+    proc lsr_m {
+        DL := M[AD]
+        P<0:0> := DL<0:0>
+        DL := DL srl 1
+        M[AD] := DL
+        call setnz
+    }
+
+    ! --- stack ----------------------------------------------------------
+    proc push_pc {
+        M[256 + S] := PC<15:8>
+        S := S - 1
+        M[256 + S] := PC<7:0>
+        S := S - 1
+    }
+    proc pull_pc {
+        S := S + 1
+        PC<7:0> := M[256 + S]
+        S := S + 1
+        PC<15:8> := M[256 + S]
+    }
+
+    ! --- interrupt entry (shared by BRK and IRQ) -------------------------
+    proc interrupt {
+        call push_pc
+        M[256 + S] := P
+        S := S - 1
+        P<2:2> := 1
+        PC<7:0> := M[0xFFFE]
+        PC<15:8> := M[0xFFFF]
+    }
+
+    ! --- execute ---------------------------------------------------------
+    proc execute {
+        decode IR {
+            ! LDA
+            0xA9: { call operand_imm  A := DL  call setnz }
+            0xA5: { call addr_zp   call load  A := DL  call setnz }
+            0xB5: { call addr_zpx  call load  A := DL  call setnz }
+            0xAD: { call addr_abs  call load  A := DL  call setnz }
+            0xBD: { call addr_absx call load  A := DL  call setnz }
+            0xB9: { call addr_absy call load  A := DL  call setnz }
+            0xA1: { call addr_izx  call load  A := DL  call setnz }
+            0xB1: { call addr_izy  call load  A := DL  call setnz }
+            ! LDX / LDY
+            0xA2: { call operand_imm  X := DL  call setnz }
+            0xA6: { call addr_zp   call load  X := DL  call setnz }
+            0xAE: { call addr_abs  call load  X := DL  call setnz }
+            0xA0: { call operand_imm  Y := DL  call setnz }
+            0xA4: { call addr_zp   call load  Y := DL  call setnz }
+            0xAC: { call addr_abs  call load  Y := DL  call setnz }
+            ! STA / STX / STY
+            0x85: { call addr_zp    M[AD] := A }
+            0x95: { call addr_zpx   M[AD] := A }
+            0x8D: { call addr_abs   M[AD] := A }
+            0x9D: { call addr_absx  M[AD] := A }
+            0x99: { call addr_absy  M[AD] := A }
+            0x81: { call addr_izx   M[AD] := A }
+            0x91: { call addr_izy   M[AD] := A }
+            0x86: { call addr_zp    M[AD] := X }
+            0x8E: { call addr_abs   M[AD] := X }
+            0x84: { call addr_zp    M[AD] := Y }
+            0x8C: { call addr_abs   M[AD] := Y }
+            ! ADC / SBC
+            0x69: { call operand_imm  call adc }
+            0x65: { call addr_zp   call load  call adc }
+            0x6D: { call addr_abs  call load  call adc }
+            0x7D: { call addr_absx call load  call adc }
+            0xE9: { call operand_imm  call sbc }
+            0xE5: { call addr_zp   call load  call sbc }
+            0xED: { call addr_abs  call load  call sbc }
+            ! AND / ORA / EOR
+            0x29: { call operand_imm  call and_a }
+            0x25: { call addr_zp   call load  call and_a }
+            0x2D: { call addr_abs  call load  call and_a }
+            0x09: { call operand_imm  call ora_a }
+            0x05: { call addr_zp   call load  call ora_a }
+            0x0D: { call addr_abs  call load  call ora_a }
+            0x49: { call operand_imm  call eor_a }
+            0x45: { call addr_zp   call load  call eor_a }
+            0x4D: { call addr_abs  call load  call eor_a }
+            ! CMP / CPX / CPY
+            0xC9: { call operand_imm  call cmp_a }
+            0xC5: { call addr_zp   call load  call cmp_a }
+            0xCD: { call addr_abs  call load  call cmp_a }
+            0xE0: { call operand_imm  call cmp_x }
+            0xE4: { call addr_zp   call load  call cmp_x }
+            0xC0: { call operand_imm  call cmp_y }
+            0xC4: { call addr_zp   call load  call cmp_y }
+            ! INC / DEC / INX / INY / DEX / DEY
+            0xE6: { call addr_zp   call inc_m }
+            0xEE: { call addr_abs  call inc_m }
+            0xC6: { call addr_zp   call dec_m }
+            0xCE: { call addr_abs  call dec_m }
+            0xE8: { X := X + 1  DL := X  call setnz }
+            0xC8: { Y := Y + 1  DL := Y  call setnz }
+            0xCA: { X := X - 1  DL := X  call setnz }
+            0x88: { Y := Y - 1  DL := Y  call setnz }
+            ! Shifts and rotates
+            0x0A: call asl_a
+            0x4A: call lsr_a
+            0x2A: call rol_a
+            0x6A: call ror_a
+            0x06: { call addr_zp   call asl_m }
+            0x0E: { call addr_abs  call asl_m }
+            0x46: { call addr_zp   call lsr_m }
+            0x4E: { call addr_abs  call lsr_m }
+            ! Register transfers
+            0xAA: { X := A  DL := X  call setnz }
+            0x8A: { A := X  DL := A  call setnz }
+            0xA8: { Y := A  DL := Y  call setnz }
+            0x98: { A := Y  DL := A  call setnz }
+            0xBA: { X := S  DL := X  call setnz }
+            0x9A: { S := X }
+            ! Stack operations
+            0x48: { M[256 + S] := A  S := S - 1 }
+            0x68: { S := S + 1  A := M[256 + S]  DL := A  call setnz }
+            0x08: { M[256 + S] := P  S := S - 1 }
+            0x28: { S := S + 1  P := M[256 + S] }
+            ! Jumps and subroutines
+            0x4C: { call addr_abs  PC := AD }
+            0x6C: { call addr_abs  PC<7:0> := M[AD]  PC<15:8> := M[AD + 1] }
+            0x20: { call addr_abs  call push_pc  PC := AD }
+            0x60: call pull_pc   ! JSR pushed the return address itself
+            0x40: { S := S + 1  P := M[256 + S]  call pull_pc }
+            ! Conditional branches (offset treated as unsigned)
+            0xF0: { call operand_imm  if P<1:1>           { PC := PC + DL } }
+            0xD0: { call operand_imm  if P<1:1> eql 0     { PC := PC + DL } }
+            0xB0: { call operand_imm  if P<0:0>           { PC := PC + DL } }
+            0x90: { call operand_imm  if P<0:0> eql 0     { PC := PC + DL } }
+            0x30: { call operand_imm  if P<7:7>           { PC := PC + DL } }
+            0x10: { call operand_imm  if P<7:7> eql 0     { PC := PC + DL } }
+            0x70: { call operand_imm  if P<6:6>           { PC := PC + DL } }
+            0x50: { call operand_imm  if P<6:6> eql 0     { PC := PC + DL } }
+            ! Flag operations
+            0x18: P<0:0> := 0
+            0x38: P<0:0> := 1
+            0x58: P<2:2> := 0
+            0x78: P<2:2> := 1
+            0xB8: P<6:6> := 0
+            0xD8: P<3:3> := 0
+            0xF8: P<3:3> := 1
+            ! BRK and NOP
+            0x00: { PC := PC + 1  P<4:4> := 1  call interrupt }
+            0xEA: nop
+            otherwise: nop      ! undocumented opcodes
+        }
+    }
+
+    ! --- machine cycle ----------------------------------------------------
+    main cycle {
+        if RES {
+            S := 0xFF
+            P<2:2> := 1
+            PC<7:0> := M[0xFFFC]
+            PC<15:8> := M[0xFFFD]
+        }
+        call fetch
+        call execute
+        if IRQ and (P<2:2> eql 0) {
+            call interrupt
+        }
+    }
+}`

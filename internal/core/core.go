@@ -1,0 +1,259 @@
+// Package core implements the VLSI Design Automation Assistant (DAA) of
+// Kowalski & Thomas (DAC 1983): a knowledge-based synthesis program that
+// translates an ISPS behavioral description — via the Value Trace — into a
+// technology-independent register-transfer structure.
+//
+// The design knowledge is expressed as production rules (internal/prod)
+// organized into the six phases of the prototype:
+//
+//  1. data-memory   — allocate registers, memories, and ports for carriers
+//  2. control       — partition each value-trace body into control steps
+//  3. operators     — allocate functional units and bind operators to them
+//  4. values        — allocate holding registers for step-crossing values
+//  5. datapath      — allocate constants, links, and multiplexers
+//  6. cleanup       — global improvement: merge holding registers whose
+//     values can never coexist, fold compatible units into
+//     ALUs, exploit commutativity, and delete dead hardware
+//
+// Each phase runs its own rule set to quiescence (the prototype used OPS5
+// context elements for the same sequencing). The result is a complete,
+// validated rtl.Design plus the synthesis statistics the paper reported:
+// rules fired per phase, working-memory size, and run time.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/prod"
+	"repro/internal/rtl"
+	"repro/internal/sched"
+	"repro/internal/vt"
+)
+
+// Options configures a synthesis run.
+type Options struct {
+	// Limits constrains the control-step allocator. When UnitsPerKind is
+	// nil every compute kind is capped at one unit, the same operating
+	// point as the left-edge baseline, so design-quality comparisons
+	// isolate the knowledge rules.
+	Limits sched.Limits
+	// DisableTraceRules skips phase 0 (trace refinement), leaving the
+	// value trace exactly as built. Note that trace refinement mutates the
+	// input trace in place, as the CMU front end did; synthesize from
+	// vt.Clone(trace) to keep the original.
+	DisableTraceRules bool
+	// DisableCleanup skips the final global-improvement phase (for the E4
+	// ablation).
+	DisableCleanup bool
+	// ExtraRules are appended to the cleanup phase; they let applications
+	// extend the knowledge base (see examples/customrules).
+	ExtraRules []*prod.Rule
+	// Trace, when non-nil, receives one line per rule firing.
+	Trace io.Writer
+}
+
+// PhaseStats records one phase's execution for experiment E3.
+type PhaseStats struct {
+	Name    string
+	Rules   int
+	Firings int
+	Cycles  int
+	WMPeak  int
+	Elapsed time.Duration
+	Counts  rtl.Counts // design component counts after the phase (E4)
+}
+
+// Stats aggregates a synthesis run.
+type Stats struct {
+	Phases       []PhaseStats
+	TotalFirings int
+	Elapsed      time.Duration
+}
+
+// FiringsPerSecond reports the aggregate rule-firing rate.
+func (s Stats) FiringsPerSecond() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.TotalFirings) / s.Elapsed.Seconds()
+}
+
+// Result is a completed synthesis.
+type Result struct {
+	Design *rtl.Design
+	Stats  Stats
+}
+
+// Synthesize runs the DAA on a value trace and returns the validated
+// register-transfer design.
+func Synthesize(trace *vt.Program, opt Options) (*Result, error) {
+	s := newSynth(trace, opt)
+	phases := []struct {
+		name  string
+		rules func() []*prod.Rule
+		seed  func(*prod.WM)
+		post  func() error
+	}{
+		{"trace", s.traceRules, s.seedTrace, s.finishTrace},
+		{"data-memory", s.dataMemoryRules, s.seedDataMemory, nil},
+		{"control", s.controlRules, s.seedControl, s.finishControl},
+		{"operators", s.operatorRules, s.seedOperators, nil},
+		{"values", s.valueRules, s.seedValues, nil},
+		{"datapath", s.datapathRules, s.seedDatapath, nil},
+		{"cleanup", s.cleanupRules, s.seedCleanup, s.finishCleanup},
+	}
+	start := time.Now()
+	var stats Stats
+	for _, ph := range phases {
+		if ph.name == "cleanup" && opt.DisableCleanup {
+			break
+		}
+		if ph.name == "trace" && opt.DisableTraceRules {
+			continue
+		}
+		t0 := time.Now()
+		wm := prod.NewWM()
+		eng := prod.NewEngine(wm)
+		eng.TraceWriter = opt.Trace
+		rules := ph.rules()
+		if ph.name == "cleanup" {
+			rules = append(rules, opt.ExtraRules...)
+		}
+		for _, r := range rules {
+			eng.AddRule(r)
+		}
+		ph.seed(wm)
+		if err := eng.Run(); err != nil {
+			return nil, fmt.Errorf("core: phase %s: %w", ph.name, err)
+		}
+		if s.err != nil {
+			return nil, fmt.Errorf("core: phase %s: %w", ph.name, s.err)
+		}
+		if ph.post != nil {
+			if err := ph.post(); err != nil {
+				return nil, fmt.Errorf("core: phase %s: %w", ph.name, err)
+			}
+		}
+		stats.Phases = append(stats.Phases, PhaseStats{
+			Name:    ph.name,
+			Rules:   len(rules),
+			Firings: eng.Firings(),
+			Cycles:  eng.Cycles(),
+			WMPeak:  wm.Peak(),
+			Elapsed: time.Since(t0),
+			Counts:  s.d.Counts(),
+		})
+		stats.TotalFirings += eng.Firings()
+	}
+	stats.Elapsed = time.Since(start)
+	if err := s.d.Validate(); err != nil {
+		return nil, fmt.Errorf("core: synthesized design invalid: %w", err)
+	}
+	return &Result{Design: s.d, Stats: stats}, nil
+}
+
+// KnowledgeBase returns the full rule set grouped by phase, for the
+// knowledge-base inventory (experiment E1). The rules are built against an
+// empty design and must not be fired.
+func KnowledgeBase() map[string][]*prod.Rule {
+	tr := &vt.Program{Name: "kb"}
+	s := newSynth(tr, Options{})
+	return map[string][]*prod.Rule{
+		"trace":       s.traceRules(),
+		"data-memory": s.dataMemoryRules(),
+		"control":     s.controlRules(),
+		"operators":   s.operatorRules(),
+		"values":      s.valueRules(),
+		"datapath":    s.datapathRules(),
+		"cleanup":     s.cleanupRules(),
+	}
+}
+
+// PhaseOrder lists the phases in execution order.
+var PhaseOrder = []string{"trace", "data-memory", "control", "operators", "values", "datapath", "cleanup"}
+
+// synth carries the mutable synthesis state shared by rule actions.
+type synth struct {
+	opt Options
+	tr  *vt.Program
+	d   *rtl.Design
+	lim sched.Limits
+
+	// control phase: per-body step cursors and per-step resource usage.
+	opStep  map[*vt.Op]int
+	stepUse map[stepKey]*stepUsage
+	bodyLen map[*vt.Body]int
+	// operator phase: units busy per (unit, state).
+	unitBusy map[unitState]bool
+	// value phase and cleanup: values held per register.
+	regVals map[*rtl.Register][]*vt.Value
+	// cleanup: sub-body -> structural operator executing it.
+	embed map[*vt.Body]*vt.Op
+	// first error raised by a rule action (halts the engine).
+	err error
+}
+
+type stepKey struct {
+	body *vt.Body
+	step int
+}
+
+type stepUsage struct {
+	kind      map[vt.OpKind]int
+	mem       map[*vt.Carrier]int
+	regWrites map[*vt.Carrier][]*vt.Op
+	closed    bool // a control operator ended this step
+	total     int
+}
+
+type unitState struct {
+	u *rtl.Unit
+	s *rtl.State
+}
+
+func newSynth(trace *vt.Program, opt Options) *synth {
+	lim := opt.Limits
+	if lim.UnitsPerKind == nil {
+		lim.UnitsPerKind = map[vt.OpKind]int{}
+		for _, op := range trace.AllOps() {
+			if op.Kind.IsCompute() {
+				lim.UnitsPerKind[op.Kind] = 1
+			}
+		}
+	}
+	return &synth{
+		opt:      opt,
+		tr:       trace,
+		d:        rtl.NewDesign(trace.Name+"-daa", trace),
+		lim:      lim,
+		opStep:   map[*vt.Op]int{},
+		stepUse:  map[stepKey]*stepUsage{},
+		bodyLen:  map[*vt.Body]int{},
+		unitBusy: map[unitState]bool{},
+		regVals:  map[*rtl.Register][]*vt.Value{},
+	}
+}
+
+func (s *synth) usage(body *vt.Body, step int) *stepUsage {
+	k := stepKey{body, step}
+	u := s.stepUse[k]
+	if u == nil {
+		u = &stepUsage{
+			kind:      map[vt.OpKind]int{},
+			mem:       map[*vt.Carrier]int{},
+			regWrites: map[*vt.Carrier][]*vt.Op{},
+		}
+		s.stepUse[k] = u
+	}
+	return u
+}
+
+// fail records the first rule-action error and halts the engine.
+func (s *synth) fail(e *prod.Engine, err error) {
+	if s.err == nil {
+		s.err = err
+	}
+	e.Halt()
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"repro/internal/bind"
+	"repro/internal/rtl"
+	"repro/internal/vt"
+)
+
+// Lifetime-conflict analysis for the global-improvement rules. Two values
+// can share a register exactly when they are never simultaneously live:
+//
+//   - in the same body, when their step intervals do not overlap (parking
+//     happens at end-of-step, so back-to-back intervals are compatible);
+//   - in sibling subtrees of one body — two arms of a SELECT, the
+//     condition and body of a LOOP, or subtrees hanging off different
+//     structural operators — always, because a value's uses are body-local
+//     and the subtrees execute disjointly;
+//   - across an ancestor/descendant body pair, unless the ancestor's value
+//     is live across the very step whose structural operator executes the
+//     descendant's subtree;
+//   - across different procedures, never merged (conservative: a callee
+//     runs while any caller value may be live).
+
+// embedMap maps every sub-body to the structural operator that executes it.
+func embedMap(tr *vt.Program) map[*vt.Body]*vt.Op {
+	m := map[*vt.Body]*vt.Op{}
+	for _, op := range tr.AllOps() {
+		for _, br := range op.Branches {
+			m[br.Body] = op
+		}
+		if op.LoopBody != nil {
+			m[op.LoopBody] = op
+		}
+		if op.CondBody != nil {
+			m[op.CondBody] = op
+		}
+	}
+	return m
+}
+
+// chain returns the parent path from the procedure root down to b.
+func chain(b *vt.Body) []*vt.Body {
+	var rev []*vt.Body
+	for x := b; x != nil; x = x.Parent {
+		rev = append(rev, x)
+	}
+	out := make([]*vt.Body, len(rev))
+	for i, x := range rev {
+		out[len(rev)-1-i] = x
+	}
+	return out
+}
+
+// valuesConflict reports whether two step-crossing values may be
+// simultaneously live.
+func (s *synth) valuesConflict(v1, v2 *vt.Value) bool {
+	b1, b2 := v1.Def.Body, v2.Def.Body
+	lo1, hi1 := bind.Lifetime(s.d, v1)
+	lo2, hi2 := bind.Lifetime(s.d, v2)
+	if b1 == b2 {
+		return !(lo2 >= hi1 || lo1 >= hi2)
+	}
+	c1, c2 := chain(b1), chain(b2)
+	if c1[0] != c2[0] {
+		return true // different procedure trees: conservative
+	}
+	i := 0
+	for i < len(c1) && i < len(c2) && c1[i] == c2[i] {
+		i++
+	}
+	switch {
+	case i == len(c1): // b1 is an ancestor of b2
+		return liveAcross(s, lo1, hi1, s.embed[c2[i]])
+	case i == len(c2): // b2 is an ancestor of b1
+		return liveAcross(s, lo2, hi2, s.embed[c1[i]])
+	default:
+		// Sibling subtrees of a common body: the subtrees execute
+		// disjointly and values are body-local, so no overlap.
+		return false
+	}
+}
+
+// liveAcross reports whether a value with lifetime [lo,hi] in the ancestor
+// body is live across the step boundary at which the structural operator
+// embed transfers control into the descendant subtree.
+func liveAcross(s *synth, lo, hi int, embed *vt.Op) bool {
+	if embed == nil {
+		return true // cannot prove safety
+	}
+	step := s.d.OpState[embed].Index
+	return lo <= step && hi > step
+}
+
+// regsCanMerge reports whether every pair of occupants of the two
+// holding registers is conflict-free.
+func (s *synth) regsCanMerge(r1, r2 *rtl.Register) bool {
+	for _, v1 := range s.regVals[r1] {
+		for _, v2 := range s.regVals[r2] {
+			if s.valuesConflict(v1, v2) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// unitsNeverCoBusy reports whether no control step executes operators on
+// both units. Operators in different bodies occupy different machine
+// states and never conflict.
+func (s *synth) unitsNeverCoBusy(u1, u2 *rtl.Unit) bool {
+	states := map[*rtl.State]bool{}
+	for op, u := range s.d.OpUnit {
+		if u == u1 {
+			states[s.d.OpState[op]] = true
+		}
+	}
+	for op, u := range s.d.OpUnit {
+		if u == u2 && states[s.d.OpState[op]] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"repro/internal/cost"
+	"repro/internal/rtl"
+	"repro/internal/vt"
+)
+
+// Cost-aware folding. The prototype's experts folded operators into ALUs
+// only when the fold did not bloat the interconnect: merging two units
+// whose operands come from different places trades a unit for multiplexer
+// ways. foldSaves estimates both sides with the standard cost model and
+// admits the fold only when it does not increase gate equivalents (ties
+// fold: the experts preferred fewer operators).
+
+var foldModel = cost.Default()
+
+// portSources collects the distinct datapath sources feeding each operand
+// port of a unit, over every operator bound to it.
+func (s *synth) portSources(u *rtl.Unit) [2]map[rtl.Endpoint]bool {
+	out := [2]map[rtl.Endpoint]bool{{}, {}}
+	for op, uu := range s.d.OpUnit {
+		if uu != u {
+			continue
+		}
+		st := s.d.OpState[op]
+		for i, a := range op.Args {
+			if i > 1 {
+				break
+			}
+			srcs, err := s.d.ValueSources(a, st)
+			if err != nil {
+				continue
+			}
+			for _, e := range srcs {
+				out[i][e] = true
+			}
+		}
+	}
+	return out
+}
+
+// muxGates prices the operand multiplexer implied by a source set.
+func muxGates(srcs map[rtl.Endpoint]bool, width int) float64 {
+	if len(srcs) <= 1 {
+		return 0
+	}
+	return foldModel.MuxWayBit * float64(len(srcs)) * float64(width)
+}
+
+// unitGates prices a unit with the experiment cost model.
+func unitGates(width int, fns map[vt.OpKind]bool) float64 {
+	maxFn := 0.0
+	for fn := range fns {
+		w, ok := foldModel.FnBit[fn]
+		if !ok {
+			w = 4
+		}
+		if w > maxFn {
+			maxFn = w
+		}
+	}
+	return (maxFn + foldModel.FnSelBit*float64(len(fns)-1)) * float64(width)
+}
+
+// foldSaves reports whether folding u2 into u1 does not increase the
+// estimated gate-equivalent cost of the units plus their operand muxes.
+func (s *synth) foldSaves(u1, u2 *rtl.Unit) bool {
+	s1 := s.portSources(u1)
+	s2 := s.portSources(u2)
+	before := unitGates(u1.Width, u1.Fns) + unitGates(u2.Width, u2.Fns)
+	for i := 0; i < 2; i++ {
+		before += muxGates(s1[i], u1.Width) + muxGates(s2[i], u2.Width)
+	}
+	width := u1.Width
+	if u2.Width > width {
+		width = u2.Width
+	}
+	fns := make(map[vt.OpKind]bool, len(u1.Fns)+len(u2.Fns))
+	for k := range u1.Fns {
+		fns[k] = true
+	}
+	for k := range u2.Fns {
+		fns[k] = true
+	}
+	after := unitGates(width, fns)
+	for i := 0; i < 2; i++ {
+		union := make(map[rtl.Endpoint]bool, len(s1[i])+len(s2[i]))
+		for e := range s1[i] {
+			union[e] = true
+		}
+		for e := range s2[i] {
+			union[e] = true
+		}
+		after += muxGates(union, width)
+	}
+	return after <= before
+}

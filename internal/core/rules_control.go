@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/prod"
+	"repro/internal/rtl"
+	"repro/internal/sched"
+	"repro/internal/vt"
+)
+
+// Phase 2 — control-step allocation. Each body is walked in program order
+// by a cursor element; one placement rule per operator class puts the next
+// operator into the earliest control step that satisfies its dependences
+// and the resource limits (one unit per operation kind by default, a
+// single memory port, one write per register per step). Combinational
+// operators chain within a step; writes and control operators take effect
+// at end-of-step, exactly as in internal/sched and internal/rtl.
+
+// opClass names the operator's placement class.
+func opClass(k vt.OpKind) string {
+	switch k {
+	case vt.OpRead:
+		return "read"
+	case vt.OpConst:
+		return "constant"
+	case vt.OpSlice, vt.OpConcat:
+		return "wiring"
+	case vt.OpAdd, vt.OpSub, vt.OpNeg:
+		return "arith"
+	case vt.OpAnd, vt.OpOr, vt.OpXor, vt.OpNot:
+		return "logic"
+	case vt.OpEql, vt.OpNeq, vt.OpLss, vt.OpLeq, vt.OpGtr, vt.OpGeq, vt.OpTest:
+		return "compare"
+	case vt.OpShl, vt.OpShr:
+		return "shift"
+	case vt.OpWrite:
+		return "write"
+	case vt.OpMemRead:
+		return "mem-read"
+	case vt.OpMemWrite:
+		return "mem-write"
+	case vt.OpSelect:
+		return "branch"
+	case vt.OpLoop:
+		return "loop"
+	case vt.OpCall:
+		return "call"
+	case vt.OpLeave:
+		return "leave"
+	case vt.OpNop:
+		return "nop"
+	}
+	return "other"
+}
+
+// computeClasses are the opClass values that need functional units.
+var computeClasses = map[string]bool{"arith": true, "logic": true, "compare": true, "shift": true}
+
+func (s *synth) seedControl(wm *prod.WM) {
+	for _, body := range s.tr.Bodies {
+		for _, op := range body.Ops {
+			wm.Make("op", prod.Attrs{
+				"op":    op,
+				"body":  body,
+				"seq":   op.Seq,
+				"class": opClass(op.Kind),
+			})
+		}
+		wm.Make("body", prod.Attrs{"body": body, "cursor": 0, "count": len(body.Ops)})
+	}
+}
+
+// placeNext places the matched operator and advances the body cursor.
+func (s *synth) placeNext(e *prod.Engine, m *prod.Match) {
+	bodyEl, opEl := m.El(0), m.El(1)
+	op := opEl.Get("op").(*vt.Op)
+	step := 0
+	for _, dep := range op.Deps {
+		min := s.opStep[dep]
+		if sched.StrictAfter(dep) {
+			min++
+		}
+		if min > step {
+			step = min
+		}
+	}
+	for !s.fitsStep(op, step) {
+		step++
+	}
+	s.markStep(op, step)
+	s.opStep[op] = step
+	if step+1 > s.bodyLen[op.Body] {
+		s.bodyLen[op.Body] = step + 1
+	}
+	e.WM.Remove(opEl)
+	e.WM.Modify(bodyEl, prod.Attrs{"cursor": bodyEl.Int("cursor") + 1})
+}
+
+func (s *synth) fitsStep(op *vt.Op, step int) bool {
+	u := s.usage(op.Body, step)
+	if s.lim.MaxOpsPerStep > 0 && u.total >= s.lim.MaxOpsPerStep {
+		return false
+	}
+	if op.Kind.IsCompute() {
+		if cap, capped := s.lim.UnitsPerKind[op.Kind]; capped && cap > 0 && u.kind[op.Kind] >= cap {
+			return false
+		}
+	}
+	memPorts := s.lim.MemPorts
+	if memPorts <= 0 {
+		memPorts = 1
+	}
+	switch op.Kind {
+	case vt.OpMemRead, vt.OpMemWrite:
+		if u.mem[op.Carrier] >= memPorts {
+			return false
+		}
+	case vt.OpWrite:
+		if len(u.regWrites[op.Carrier]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *synth) markStep(op *vt.Op, step int) {
+	u := s.usage(op.Body, step)
+	u.total++
+	if op.Kind.IsCompute() {
+		u.kind[op.Kind]++
+	}
+	switch op.Kind {
+	case vt.OpMemRead, vt.OpMemWrite:
+		u.mem[op.Carrier]++
+	case vt.OpWrite:
+		u.regWrites[op.Carrier] = append(u.regWrites[op.Carrier], op)
+	}
+}
+
+// placeRule builds the shared shape of the placement rules: the body
+// cursor joined to the next operator of a given class.
+func (s *synth) placeRule(name, class, doc string) *prod.Rule {
+	return &prod.Rule{
+		Name:     name,
+		Category: "control",
+		Doc:      doc,
+		Patterns: []prod.Pattern{
+			prod.P("body").Bind("body", "b").Bind("cursor", "c"),
+			prod.P("op").Bind("body", "b").Bind("seq", "c").Eq("class", class),
+		},
+		Action: s.placeNext,
+	}
+}
+
+func (s *synth) controlRules() []*prod.Rule {
+	return []*prod.Rule{
+		s.placeRule("place-carrier-read", "read", "Register and port reads are combinational: pack them into the current step."),
+		s.placeRule("place-constant", "constant", "Constants are free sources available in any step."),
+		s.placeRule("place-wiring", "wiring", "Bit selection and concatenation are wiring and take no step of their own."),
+		s.placeRule("place-arithmetic", "arith", "Arithmetic chains combinationally but is bounded by the per-step adder budget."),
+		s.placeRule("place-logical", "logic", "Logical operations chain combinationally within the logic-unit budget."),
+		s.placeRule("place-comparison", "compare", "Comparisons and tests chain combinationally within the comparator budget."),
+		s.placeRule("place-shift", "shift", "Shifts chain combinationally within the shifter budget."),
+		s.placeRule("place-register-write", "write", "A register transfer commits at end-of-step; strictly one write per register per step (partial field writes serialize)."),
+		s.placeRule("place-memory-read", "mem-read", "A memory read claims the single memory port for the step."),
+		s.placeRule("place-memory-write", "mem-write", "A memory write claims the single memory port and commits at end-of-step."),
+		s.placeRule("place-branch", "branch", "A DECODE or conditional ends the current control step; its arms get their own step sequences."),
+		s.placeRule("place-loop", "loop", "A loop ends the current step; condition and body are stepped separately."),
+		s.placeRule("place-subroutine-call", "call", "A call ends the step and transfers control to the callee's step sequence."),
+		s.placeRule("place-leave", "leave", "LEAVE is a control exit and ends the step."),
+		s.placeRule("place-no-op", "nop", "An explicit no-operation occupies the current step."),
+		{
+			Name:     "close-body",
+			Category: "control",
+			Doc:      "A body whose cursor has consumed every operator is complete.",
+			Patterns: []prod.Pattern{
+				prod.P("body").Bind("cursor", "n").Bind("count", "n"),
+			},
+			Action: func(e *prod.Engine, m *prod.Match) { e.WM.Remove(m.El(0)) },
+		},
+	}
+}
+
+// finishControl materializes the control steps chosen by the placement
+// rules as design states and binds every operator to its state.
+func (s *synth) finishControl() error {
+	states := map[stepKey]*rtl.State{}
+	for _, body := range s.tr.Bodies {
+		for i := 0; i < s.bodyLen[body]; i++ {
+			states[stepKey{body, i}] = s.d.AddState(body.Name, i)
+		}
+		for _, op := range body.Ops {
+			step, ok := s.opStep[op]
+			if !ok {
+				return fmt.Errorf("operator %s was never placed", op)
+			}
+			st := states[stepKey{body, step}]
+			st.Ops = append(st.Ops, op)
+			s.d.OpState[op] = st
+		}
+	}
+	return nil
+}

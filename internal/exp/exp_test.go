@@ -1,0 +1,215 @@
+package exp
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestE1Inventory(t *testing.T) {
+	rows := E1()
+	if len(rows) != 8 { // seven phases + total
+		t.Fatalf("rows %d, want 8", len(rows))
+	}
+	total := rows[len(rows)-1]
+	if total.Phase != "total" {
+		t.Fatalf("last row %q, want total", total.Phase)
+	}
+	if total.Rules < 30 {
+		t.Errorf("total rules %d, implausibly few", total.Rules)
+	}
+	if total.MeanLHS <= 1 {
+		t.Errorf("mean LHS tests %.2f, must exceed one per rule", total.MeanLHS)
+	}
+	sum := 0
+	for _, r := range rows[:len(rows)-1] {
+		sum += r.Rules
+	}
+	if sum != total.Rules {
+		t.Errorf("phase rules sum %d != total %d", sum, total.Rules)
+	}
+}
+
+func TestE2ShapeOnMCS6502(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mcs6502 synthesis in -short mode")
+	}
+	rows, err := E2("mcs6502")
+	if err != nil {
+		t.Fatal(err)
+	}
+	daa, le, naive := rows[0], rows[1], rows[2]
+	// The paper's headline: the knowledge-based design uses far fewer
+	// operators and links than the unshared design.
+	if daa.Counts.Units >= naive.Counts.Units/4 {
+		t.Errorf("daa units %d vs naive %d: expected a large factor", daa.Counts.Units, naive.Counts.Units)
+	}
+	if daa.Counts.Links >= naive.Counts.Links {
+		t.Errorf("daa links %d >= naive %d", daa.Counts.Links, naive.Counts.Links)
+	}
+	if daa.Cost.Datapath > le.Cost.Datapath || le.Cost.Datapath > naive.Cost.Datapath {
+		t.Errorf("gate ordering violated: daa=%.0f le=%.0f naive=%.0f",
+			daa.Cost.Datapath, le.Cost.Datapath, naive.Cost.Datapath)
+	}
+	if naive.Cost.Datapath/daa.Cost.Datapath < 1.5 {
+		t.Errorf("naive/daa ratio %.2f, want >= 1.5 (paper shape: several x)",
+			naive.Cost.Datapath/daa.Cost.Datapath)
+	}
+	// The 6502's architectural registers survive.
+	if daa.Counts.Registers < 7 {
+		t.Errorf("registers %d, want at least the architectural file", daa.Counts.Registers)
+	}
+}
+
+func TestE3StatisticsShape(t *testing.T) {
+	d, err := E3("gcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Stats.Phases) != 7 {
+		t.Fatalf("phases %d, want 7", len(d.Stats.Phases))
+	}
+	// Control allocation fires at least once per operator.
+	for _, ph := range d.Stats.Phases {
+		if ph.Name == "control" && ph.Firings < d.TraceOp {
+			t.Errorf("control firings %d < trace ops %d", ph.Firings, d.TraceOp)
+		}
+	}
+	if d.Stats.FiringsPerSecond() < 2 {
+		t.Errorf("firing rate %.2f/sec — slower than a 1983 VAX", d.Stats.FiringsPerSecond())
+	}
+}
+
+func TestE4EvolutionShape(t *testing.T) {
+	pts, err := E4("gcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 7 {
+		t.Fatalf("points %d, want 7", len(pts))
+	}
+	byPhase := map[string]E4Point{}
+	for _, p := range pts {
+		byPhase[p.Phase] = p
+	}
+	if byPhase["data-memory"].Counts.Links != 0 {
+		t.Error("links must not exist before datapath allocation")
+	}
+	if byPhase["datapath"].Counts.Links == 0 {
+		t.Error("datapath allocation produced no links")
+	}
+	cl, dp := byPhase["cleanup"].Counts, byPhase["datapath"].Counts
+	if cl.Units > dp.Units || cl.Registers > dp.Registers {
+		t.Errorf("cleanup grew the design: %v -> %v", dp, cl)
+	}
+}
+
+func TestE5ScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite synthesis in -short mode")
+	}
+	pts, err := E5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 9 {
+		t.Fatalf("points %d, want 9 benchmarks", len(pts))
+	}
+	// Linearity shape: firings per operator stays within a narrow band.
+	for _, p := range pts {
+		ratio := float64(p.Firings) / float64(p.Ops)
+		if ratio < 1 || ratio > 4 {
+			t.Errorf("%s: firings/op %.2f outside [1,4] — not linear", p.Bench, ratio)
+		}
+	}
+	// Sorted ascending by ops.
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].Ops > pts[i].Ops {
+			t.Error("points not sorted by size")
+		}
+	}
+}
+
+func TestE6OrderingHoldsEverywhere(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite synthesis in -short mode")
+	}
+	rows, err := E6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("benchmarks %d, want 9", len(rows))
+	}
+	for _, r := range rows {
+		daa := r.Rows[0].Cost.Datapath
+		le := r.Rows[1].Cost.Datapath
+		nv := r.Rows[2].Cost.Datapath
+		const eps = 1e-9
+		if daa > le+eps {
+			t.Errorf("%s: daa %.1f > left-edge %.1f", r.Bench, daa, le)
+		}
+		if le > nv+eps {
+			t.Errorf("%s: left-edge %.1f > naive %.1f", r.Bench, le, nv)
+		}
+	}
+}
+
+func TestRenderersProduceTables(t *testing.T) {
+	var sb strings.Builder
+	RenderE1(&sb)
+	if err := RenderE2(&sb, "gcd"); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderE3(&sb, "gcd"); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderE4(&sb, "gcd"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table 1", "Table 2", "Table 3", "Figure 1", "daa", "left-edge", "naive"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRenderErrorsOnUnknownBench(t *testing.T) {
+	if err := RenderE2(io.Discard, "nope"); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+	if err := RenderE3(io.Discard, "nope"); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+	if err := RenderE4(io.Discard, "nope"); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+}
+
+func TestE7AblationNeverWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite synthesis in -short mode")
+	}
+	rows, err := E7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("benchmarks %d, want 9", len(rows))
+	}
+	const eps = 1e-9
+	for _, r := range rows {
+		for name, v := range map[string]float64{
+			"-trace": r.NoTrace, "-cleanup": r.NoCleanup, "-both": r.NoEither,
+		} {
+			if r.Full > v+eps {
+				t.Errorf("%s: full DAA (%.1f) worse than %s (%.1f)", r.Bench, r.Full, name, v)
+			}
+		}
+		// Removing both must be at least as bad as removing either one.
+		if r.NoEither+eps < r.NoTrace || r.NoEither+eps < r.NoCleanup {
+			t.Errorf("%s: ablations not monotone: %+v", r.Bench, r)
+		}
+	}
+}

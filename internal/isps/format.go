@@ -1,0 +1,186 @@
+package isps
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a parsed program back to canonical ISPS source. The
+// output parses to an equivalent program (same declarations, procedures,
+// statement structure, and expression trees); comments are not preserved
+// (the lexer discards them). Formatting is idempotent: formatting the
+// parse of formatted output reproduces it byte for byte.
+func Format(p *Program) string {
+	f := &formatter{}
+	f.printf("processor %s {", p.Name)
+	f.indent++
+	if len(p.Decls) > 0 {
+		for _, d := range p.Decls {
+			f.printf("%s", formatDecl(d))
+		}
+	}
+	for _, pr := range p.Procs {
+		f.printf("")
+		kw := "proc " + pr.Name
+		if pr.IsMain {
+			// "main" is a keyword: an entry body that kept the default
+			// name prints without one.
+			kw = "main " + pr.Name
+			if pr.Name == "main" {
+				kw = "main"
+			}
+		}
+		f.printf("%s {", kw)
+		f.indent++
+		f.stmts(pr.Body)
+		f.indent--
+		f.printf("}")
+	}
+	f.indent--
+	f.printf("}")
+	return f.b.String()
+}
+
+type formatter struct {
+	b      strings.Builder
+	indent int
+}
+
+func (f *formatter) printf(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
+	if line == "" {
+		f.b.WriteString("\n")
+		return
+	}
+	f.b.WriteString(strings.Repeat("    ", f.indent))
+	f.b.WriteString(line)
+	f.b.WriteString("\n")
+}
+
+func formatDecl(d *Decl) string {
+	switch d.Kind {
+	case DeclReg:
+		return fmt.Sprintf("reg %s%s", d.Name, formatRange(d))
+	case DeclMem:
+		return fmt.Sprintf("mem %s[%d:%d]%s", d.Name, d.ALo, d.AHi, formatRange(d))
+	case DeclPortIn:
+		return fmt.Sprintf("port in %s%s", d.Name, formatRange(d))
+	case DeclPortOut:
+		return fmt.Sprintf("port out %s%s", d.Name, formatRange(d))
+	case DeclConst:
+		return fmt.Sprintf("const %s = %d", d.Name, d.Value)
+	}
+	return "?"
+}
+
+func formatRange(d *Decl) string {
+	if d.Hi == 0 && d.Lo == 0 {
+		return "" // 1-bit default
+	}
+	return fmt.Sprintf("<%d:%d>", d.Hi, d.Lo)
+}
+
+func (f *formatter) stmts(stmts []Stmt) {
+	for _, s := range stmts {
+		f.stmt(s)
+	}
+}
+
+func (f *formatter) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *Assign:
+		f.printf("%s := %s", formatLValue(s.LHS), FormatExpr(s.RHS))
+	case *If:
+		f.printf("if %s {", FormatExpr(s.Cond))
+		f.indent++
+		f.stmts(s.Then)
+		f.indent--
+		if len(s.Else) > 0 {
+			f.printf("} else {")
+			f.indent++
+			f.stmts(s.Else)
+			f.indent--
+		}
+		f.printf("}")
+	case *Decode:
+		f.printf("decode %s {", FormatExpr(s.Selector))
+		f.indent++
+		for _, c := range s.Cases {
+			vals := make([]string, len(c.Values))
+			for i, v := range c.Values {
+				vals[i] = fmt.Sprintf("%d", v)
+			}
+			f.printf("%s: {", strings.Join(vals, ", "))
+			f.indent++
+			f.stmts(c.Body)
+			f.indent--
+			f.printf("}")
+		}
+		if s.Otherwise != nil {
+			f.printf("otherwise: {")
+			f.indent++
+			f.stmts(s.Otherwise)
+			f.indent--
+			f.printf("}")
+		}
+		f.indent--
+		f.printf("}")
+	case *While:
+		f.printf("while %s {", FormatExpr(s.Cond))
+		f.indent++
+		f.stmts(s.Body)
+		f.indent--
+		f.printf("}")
+	case *Repeat:
+		f.printf("repeat %d {", s.Count)
+		f.indent++
+		f.stmts(s.Body)
+		f.indent--
+		f.printf("}")
+	case *Call:
+		f.printf("call %s", s.Name)
+	case *Nop:
+		f.printf("nop")
+	case *Leave:
+		f.printf("leave")
+	}
+}
+
+func formatLValue(lv *LValue) string {
+	var b strings.Builder
+	b.WriteString(lv.Name)
+	if lv.Index != nil {
+		fmt.Fprintf(&b, "[%s]", FormatExpr(lv.Index))
+	}
+	if lv.HasSel {
+		fmt.Fprintf(&b, "<%d:%d>", lv.Hi, lv.Lo)
+	}
+	return b.String()
+}
+
+// FormatExpr renders an expression with explicit parentheses around every
+// binary operation, so precedence never changes across a round trip.
+func FormatExpr(e Expr) string {
+	switch e := e.(type) {
+	case *Num:
+		return fmt.Sprintf("%d", e.Value)
+	case *Ref:
+		var b strings.Builder
+		b.WriteString(e.Name)
+		if e.Index != nil {
+			fmt.Fprintf(&b, "[%s]", FormatExpr(e.Index))
+		}
+		if e.HasSel {
+			fmt.Fprintf(&b, "<%d:%d>", e.Hi, e.Lo)
+		}
+		return b.String()
+	case *UnOp:
+		if e.Op == UnNot {
+			return fmt.Sprintf("(not %s)", FormatExpr(e.X))
+		}
+		return fmt.Sprintf("(- %s)", FormatExpr(e.X))
+	case *BinOp:
+		return fmt.Sprintf("(%s %s %s)", FormatExpr(e.X), e.Op, FormatExpr(e.Y))
+	}
+	return "?"
+}

@@ -1,0 +1,74 @@
+package isps_test
+
+// Native fuzz targets. In normal test runs only the seed corpus executes;
+// run `go test -fuzz=FuzzParse ./internal/isps` to explore further.
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/isps"
+	"repro/internal/sim"
+	"repro/internal/vt"
+)
+
+// newBoundedMachine builds a simulator with a small step budget so fuzz
+// inputs with infinite loops terminate quickly.
+func newBoundedMachine(prog *isps.Program) *sim.Machine {
+	m := sim.New(prog)
+	m.MaxSteps = 10_000
+	return m
+}
+
+func FuzzParse(f *testing.F) {
+	for _, name := range bench.Names() {
+		src, err := bench.Source(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(src)
+	}
+	f.Add("processor P { reg A main m { A := 1 } }")
+	f.Add("processor P { } garbage")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := isps.Parse("fuzz", src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Anything the front end accepts must lower and validate.
+		tr, err := vt.Build(prog)
+		if err != nil {
+			t.Fatalf("accepted source failed to lower: %v\n%s", err, src)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted source built an invalid trace: %v\n%s", err, src)
+		}
+		// And the formatter must round-trip it.
+		out := isps.Format(prog)
+		if _, err := isps.Parse("fuzz.fmt", out); err != nil {
+			t.Fatalf("formatted output does not reparse: %v\n%s", err, out)
+		}
+	})
+}
+
+func FuzzSimulate(f *testing.F) {
+	f.Add("processor P { reg A<7:0> main m { A := A + 1 } }", uint64(3))
+	f.Add("processor P { reg A<7:0> main m { while A neq 0 { A := A - 1 } } }", uint64(200))
+	f.Fuzz(func(t *testing.T, src string, seed uint64) {
+		prog, err := isps.Parse("fuzz", src)
+		if err != nil {
+			return
+		}
+		if _, err := vt.Build(prog); err != nil {
+			return
+		}
+		m := newBoundedMachine(prog)
+		for _, d := range prog.Carriers() {
+			if d.Kind == isps.DeclReg || d.Kind == isps.DeclPortIn {
+				m.Set(d.Name, seed)
+			}
+		}
+		_ = m.Run() // must terminate (step budget) without panicking
+	})
+}

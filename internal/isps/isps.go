@@ -1,0 +1,41 @@
+// Package isps implements the front end for an ISPS-flavored behavioral
+// hardware description language — the input notation of the VLSI Design
+// Automation Assistant (Kowalski & Thomas, DAC 1983).
+//
+// ISPS (Instruction Set Processor Specification, Barbacci 1981) described a
+// processor as a set of carriers (registers, memories, ports) plus named
+// behavior bodies built from register transfers, DECODE branches,
+// conditionals, and loops. This package accepts a faithful subset with a
+// brace-delimited surface syntax:
+//
+//	processor Mark1 {
+//	    reg  ACC<7:0>                ! an 8-bit register
+//	    reg  PC<11:0>
+//	    mem  M[0:255]<7:0>           ! 256 words of 8 bits
+//	    port in  IRQ                 ! 1-bit input port
+//	    const OPW = 3
+//
+//	    proc fetch {
+//	        IR := M[PC]
+//	        PC := PC + 1
+//	    }
+//	    main cycle {
+//	        call fetch
+//	        decode IR<7:5> {
+//	            0: ACC := ACC + M[IR<4:0>]
+//	            1: ACC := ACC - M[IR<4:0>]
+//	            otherwise: nop
+//	        }
+//	        if ACC eql 0 { Z := 1 } else { Z := 0 }
+//	        while CNT neq 0 { CNT := CNT - 1 }
+//	    }
+//	}
+//
+// Comments run from '!' to end of line, as in ISPS. Operators use the ISPS
+// word vocabulary (and, or, xor, not, eql, neq, lss, leq, gtr, geq, sll,
+// srl) plus infix + and -; '@' is concatenation and '<hi:lo>' selects bits.
+//
+// Parse produces an AST with all names resolved and all expression widths
+// inferred; internal/vt lowers that AST to the Value Trace consumed by the
+// synthesis rules in internal/core.
+package isps

@@ -1,0 +1,248 @@
+package isps
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Error is a lexical, syntactic, or semantic error tied to a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList collects multiple errors from a single front-end pass.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (and %d more errors)", l[0].Error(), len(l)-1)
+	return b.String()
+}
+
+// Err returns the list as an error, or nil if it is empty.
+func (l ErrorList) Err() error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}
+
+// lexer turns ISPS source text into tokens. Comments run from '!' to end of
+// line (the ISPS convention); whitespace is insignificant.
+type lexer struct {
+	src  string
+	file string
+	off  int
+	line int
+	col  int
+	errs ErrorList
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{src: src, file: file, line: 1, col: 1}
+}
+
+func (l *lexer) pos() Pos { return Pos{File: l.file, Line: l.line, Col: l.col} }
+
+func (l *lexer) errorf(p Pos, format string, args ...any) {
+	l.errs = append(l.errs, &Error{Pos: p, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpace() {
+	for l.off < len(l.src) {
+		switch c := l.peek(); {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '!': // comment to end of line
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == '.'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+// next scans and returns the next token.
+func (l *lexer) next() Token {
+	l.skipSpace()
+	p := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: p}
+	}
+	c := l.peek()
+	switch {
+	case isLetter(c):
+		start := l.off
+		for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		word := l.src[start:l.off]
+		if kw, ok := keywords[strings.ToLower(word)]; ok {
+			return Token{Kind: kw, Text: word, Pos: p}
+		}
+		return Token{Kind: TokIdent, Text: word, Pos: p}
+	case isDigit(c):
+		return l.number(p)
+	}
+	l.advance()
+	switch c {
+	case '{':
+		return Token{Kind: TokLBrace, Pos: p}
+	case '}':
+		return Token{Kind: TokRBrace, Pos: p}
+	case '(':
+		return Token{Kind: TokLParen, Pos: p}
+	case ')':
+		return Token{Kind: TokRParen, Pos: p}
+	case '[':
+		return Token{Kind: TokLBracket, Pos: p}
+	case ']':
+		return Token{Kind: TokRBracket, Pos: p}
+	case '<':
+		return Token{Kind: TokLAngle, Pos: p}
+	case '>':
+		return Token{Kind: TokRAngle, Pos: p}
+	case ',':
+		return Token{Kind: TokComma, Pos: p}
+	case ';':
+		return Token{Kind: TokSemi, Pos: p}
+	case '@':
+		return Token{Kind: TokConcat, Pos: p}
+	case '+':
+		return Token{Kind: TokPlus, Pos: p}
+	case '-':
+		return Token{Kind: TokMinus, Pos: p}
+	case '=':
+		return Token{Kind: TokEquals, Pos: p}
+	case ':':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokAssign, Pos: p}
+		}
+		return Token{Kind: TokColon, Pos: p}
+	}
+	l.errorf(p, "unexpected character %q", string(rune(c)))
+	return l.next()
+}
+
+// number scans decimal, hexadecimal (0x...), or binary (0b...) literals.
+// A literal may use '_' separators after the first digit.
+func (l *lexer) number(p Pos) Token {
+	start := l.off
+	base := 10
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		base = 16
+		l.advance()
+		l.advance()
+	} else if l.peek() == '0' && (l.peek2() == 'b' || l.peek2() == 'B') {
+		base = 2
+		l.advance()
+		l.advance()
+	}
+	digitStart := l.off
+	for l.off < len(l.src) {
+		c := l.peek()
+		ok := false
+		switch base {
+		case 10:
+			ok = isDigit(c)
+		case 16:
+			ok = isHexDigit(c)
+		case 2:
+			ok = c == '0' || c == '1'
+		}
+		if !ok && c != '_' {
+			break
+		}
+		l.advance()
+	}
+	text := l.src[start:l.off]
+	digits := strings.ReplaceAll(l.src[digitStart:l.off], "_", "")
+	if digits == "" {
+		l.errorf(p, "malformed number %q", text)
+		return Token{Kind: TokNumber, Text: text, Pos: p}
+	}
+	var val uint64
+	overflow := false
+	for i := 0; i < len(digits); i++ {
+		var d uint64
+		c := digits[i]
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		}
+		hi := val >> 32
+		val = val*uint64(base) + d
+		if hi != 0 && val>>32 < hi { // crude but sufficient overflow guard
+			overflow = true
+		}
+	}
+	if overflow {
+		l.errorf(p, "number %q overflows 64 bits", text)
+	}
+	return Token{Kind: TokNumber, Text: text, Val: val, Pos: p}
+}
+
+// lexAll scans the whole input; used by tests and the parser constructor.
+func lexAll(file, src string) ([]Token, ErrorList) {
+	l := newLexer(file, src)
+	var toks []Token
+	for {
+		t := l.next()
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			break
+		}
+	}
+	return toks, l.errs
+}

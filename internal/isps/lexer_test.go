@@ -1,0 +1,186 @@
+package isps
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, errs := lexAll("t", "processor P { reg A<7:0> }")
+	if err := errs.Err(); err != nil {
+		t.Fatalf("lex errors: %v", err)
+	}
+	want := []TokenKind{
+		TokProcessor, TokIdent, TokLBrace, TokReg, TokIdent,
+		TokLAngle, TokNumber, TokColon, TokNumber, TokRAngle,
+		TokRBrace, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		want uint64
+	}{
+		{"0", 0},
+		{"42", 42},
+		{"0xff", 255},
+		{"0xFF", 255},
+		{"0b1010", 10},
+		{"1_000", 1000},
+		{"0x1_F", 31},
+		{"65535", 65535},
+	}
+	for _, c := range cases {
+		toks, errs := lexAll("t", c.src)
+		if err := errs.Err(); err != nil {
+			t.Errorf("%q: lex error %v", c.src, err)
+			continue
+		}
+		if toks[0].Kind != TokNumber {
+			t.Errorf("%q: got %s, want number", c.src, toks[0])
+			continue
+		}
+		if toks[0].Val != c.want {
+			t.Errorf("%q: got %d, want %d", c.src, toks[0].Val, c.want)
+		}
+	}
+}
+
+func TestLexMalformedNumber(t *testing.T) {
+	_, errs := lexAll("t", "0x")
+	if errs.Err() == nil {
+		t.Fatal("expected error for bare 0x")
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, errs := lexAll("t", "reg ! this is a comment\nmem")
+	if err := errs.Err(); err != nil {
+		t.Fatalf("lex errors: %v", err)
+	}
+	got := kinds(toks)
+	want := []TokenKind{TokReg, TokMem, TokEOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks, errs := lexAll("t", "DECODE Decode decode")
+	if err := errs.Err(); err != nil {
+		t.Fatalf("lex errors: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if toks[i].Kind != TokDecode {
+			t.Errorf("token %d: got %s, want decode", i, toks[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, errs := lexAll("t", ":= : @ + - = ; , ( ) [ ] < >")
+	if err := errs.Err(); err != nil {
+		t.Fatalf("lex errors: %v", err)
+	}
+	want := []TokenKind{
+		TokAssign, TokColon, TokConcat, TokPlus, TokMinus, TokEquals,
+		TokSemi, TokComma, TokLParen, TokRParen, TokLBracket, TokRBracket,
+		TokLAngle, TokRAngle, TokEOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, _ := lexAll("f.isps", "reg\n  mem")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("reg at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("mem at %v, want 2:3", toks[1].Pos)
+	}
+	if toks[0].Pos.File != "f.isps" {
+		t.Errorf("file %q, want f.isps", toks[0].Pos.File)
+	}
+}
+
+func TestLexUnexpectedCharRecovers(t *testing.T) {
+	toks, errs := lexAll("t", "reg # mem")
+	if errs.Err() == nil {
+		t.Fatal("expected error for '#'")
+	}
+	got := kinds(toks)
+	want := []TokenKind{TokReg, TokMem, TokEOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// Property: lexing never panics and always terminates with EOF, for
+// arbitrary input bytes.
+func TestLexArbitraryInputTerminates(t *testing.T) {
+	f := func(src string) bool {
+		toks, _ := lexAll("t", src)
+		return len(toks) > 0 && toks[len(toks)-1].Kind == TokEOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every decimal literal round-trips through the lexer.
+func TestLexDecimalRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		src := strings.TrimSpace(" " + itoa(uint64(v)))
+		toks, errs := lexAll("t", src)
+		if errs.Err() != nil || len(toks) != 2 {
+			return false
+		}
+		return toks[0].Kind == TokNumber && toks[0].Val == uint64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,158 @@
+package isps
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Warning is a non-fatal observation about a description: the program is
+// legal, but a designer would want to look.
+type Warning struct {
+	Pos  Pos
+	Code string // stable identifier, e.g. "unused-carrier"
+	Msg  string
+}
+
+func (w Warning) String() string { return fmt.Sprintf("%s: %s: %s", w.Pos, w.Code, w.Msg) }
+
+// Lint inspects an analyzed program for suspicious constructs:
+//
+//	unused-carrier      a declared carrier is never referenced
+//	never-written       a register or output port is read/driven nowhere
+//	write-only-register a register is written but its value goes nowhere
+//	constant-condition  an if/while condition is a constant
+//	self-assignment     X := X has no effect
+//	incomplete-decode   a decode without otherwise does not cover its selector
+//	empty-procedure     a procedure with no statements
+//	unused-procedure    a procedure never called and not the entry
+//
+// The order of warnings is deterministic (by position).
+func Lint(prog *Program) []Warning {
+	l := &linter{prog: prog, reads: map[*Decl]bool{}, writes: map[*Decl]bool{}, called: map[*Proc]bool{}}
+	for _, pr := range prog.Procs {
+		if len(pr.Body) == 0 {
+			l.warn(pr.Pos, "empty-procedure", "procedure %s has no statements", pr.Name)
+		}
+		l.stmts(pr.Body)
+	}
+	for _, d := range prog.Carriers() {
+		switch {
+		case !l.reads[d] && !l.writes[d]:
+			l.warn(d.Pos, "unused-carrier", "%s %s is never referenced", d.Kind, d.Name)
+		case d.Kind == DeclReg && !l.writes[d]:
+			l.warn(d.Pos, "never-written", "register %s is read but never written (holds its reset value)", d.Name)
+		case d.Kind == DeclReg && !l.reads[d]:
+			l.warn(d.Pos, "write-only-register", "register %s is written but never read", d.Name)
+		case d.Kind == DeclPortOut && !l.writes[d]:
+			l.warn(d.Pos, "never-written", "output port %s is never driven", d.Name)
+		}
+	}
+	for _, pr := range prog.Procs {
+		if !pr.IsMain && !l.called[pr] {
+			l.warn(pr.Pos, "unused-procedure", "procedure %s is never called", pr.Name)
+		}
+	}
+	sort.Slice(l.out, func(i, j int) bool {
+		a, b := l.out[i].Pos, l.out[j].Pos
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return l.out[i].Code < l.out[j].Code
+	})
+	return l.out
+}
+
+type linter struct {
+	prog   *Program
+	reads  map[*Decl]bool
+	writes map[*Decl]bool
+	called map[*Proc]bool
+	out    []Warning
+}
+
+func (l *linter) warn(pos Pos, code, format string, args ...any) {
+	l.out = append(l.out, Warning{Pos: pos, Code: code, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *linter) stmts(stmts []Stmt) {
+	for _, s := range stmts {
+		l.stmt(s)
+	}
+}
+
+func (l *linter) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *Assign:
+		l.expr(s.RHS)
+		if s.LHS.Index != nil {
+			l.expr(s.LHS.Index)
+		}
+		if s.LHS.Decl != nil {
+			l.writes[s.LHS.Decl] = true
+		}
+		if ref, ok := s.RHS.(*Ref); ok && ref.Decl == s.LHS.Decl && ref.Decl != nil &&
+			ref.HasSel == s.LHS.HasSel && ref.Hi == s.LHS.Hi && ref.Lo == s.LHS.Lo &&
+			ref.Index == nil && s.LHS.Index == nil {
+			l.warn(s.Pos, "self-assignment", "%s := %s has no effect", s.LHS, ref)
+		}
+	case *If:
+		if _, isConst := s.Cond.(*Num); isConst {
+			l.warn(s.Pos, "constant-condition", "if condition is constant")
+		}
+		l.expr(s.Cond)
+		l.stmts(s.Then)
+		l.stmts(s.Else)
+	case *Decode:
+		l.expr(s.Selector)
+		w := s.Selector.ResultWidth()
+		if s.Otherwise == nil && w > 0 && w < 16 {
+			covered := map[uint64]bool{}
+			for _, c := range s.Cases {
+				for _, v := range c.Values {
+					covered[v] = true
+				}
+			}
+			if len(covered) < 1<<uint(w) {
+				l.warn(s.Pos, "incomplete-decode",
+					"decode covers %d of %d selector values with no otherwise arm (uncovered values do nothing)",
+					len(covered), 1<<uint(w))
+			}
+		}
+		for _, c := range s.Cases {
+			l.stmts(c.Body)
+		}
+		l.stmts(s.Otherwise)
+	case *While:
+		if n, isConst := s.Cond.(*Num); isConst && n.Value == 0 {
+			l.warn(s.Pos, "constant-condition", "while condition is constantly false: loop body never runs")
+		}
+		l.expr(s.Cond)
+		l.stmts(s.Body)
+	case *Repeat:
+		l.stmts(s.Body)
+	case *Call:
+		if s.Callee != nil {
+			l.called[s.Callee] = true
+		}
+	}
+}
+
+func (l *linter) expr(e Expr) {
+	switch e := e.(type) {
+	case *Ref:
+		if e.Decl != nil && e.Decl.Kind != DeclConst {
+			l.reads[e.Decl] = true
+		}
+		if e.Index != nil {
+			l.expr(e.Index)
+		}
+	case *UnOp:
+		l.expr(e.X)
+	case *BinOp:
+		l.expr(e.X)
+		l.expr(e.Y)
+	}
+}

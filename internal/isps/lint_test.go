@@ -1,0 +1,182 @@
+package isps
+
+import (
+	"testing"
+)
+
+func lintOf(t *testing.T, src string) []Warning {
+	t.Helper()
+	prog, err := Parse("t", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Lint(prog)
+}
+
+func codes(ws []Warning) map[string]int {
+	out := map[string]int{}
+	for _, w := range ws {
+		out[w.Code]++
+	}
+	return out
+}
+
+func TestLintCleanProgram(t *testing.T) {
+	ws := lintOf(t, `
+processor P {
+    reg A<7:0>
+    port in  X<7:0>
+    port out Y<7:0>
+    main m {
+        A := A + X
+        Y := A
+    }
+}`)
+	if len(ws) != 0 {
+		t.Fatalf("clean program warned: %v", ws)
+	}
+}
+
+func TestLintUnusedCarrier(t *testing.T) {
+	ws := lintOf(t, `
+processor P {
+    reg A<7:0>
+    reg GHOST<7:0>
+    main m { A := A + 1 }
+}`)
+	if codes(ws)["unused-carrier"] != 1 {
+		t.Fatalf("want one unused-carrier, got %v", ws)
+	}
+}
+
+func TestLintReadWriteDiscipline(t *testing.T) {
+	ws := lintOf(t, `
+processor P {
+    reg RD<7:0>     ! read, never written
+    reg WR<7:0>     ! written, never read
+    port in  UNIN<3:0>
+    port out UNOUT<3:0>
+    main m { WR := RD }
+}`)
+	c := codes(ws)
+	if c["never-written"] != 1 { // RD; the untouched ports are unused-carrier
+		t.Errorf("never-written %d, want 1: %v", c["never-written"], ws)
+	}
+	if c["write-only-register"] != 1 {
+		t.Errorf("write-only-register %d, want 1: %v", c["write-only-register"], ws)
+	}
+	if c["unused-carrier"] != 2 {
+		t.Errorf("unused-carrier %d, want 2: %v", c["unused-carrier"], ws)
+	}
+}
+
+func TestLintConstantConditions(t *testing.T) {
+	ws := lintOf(t, `
+processor P {
+    reg A<7:0>
+    main m {
+        if 1 { A := 1 }
+        while 0 { A := 2 }
+    }
+}`)
+	if codes(ws)["constant-condition"] != 2 {
+		t.Fatalf("want two constant-condition warnings, got %v", ws)
+	}
+}
+
+func TestLintSelfAssignment(t *testing.T) {
+	ws := lintOf(t, `
+processor P {
+    reg A<7:0>
+    reg B<7:0>
+    main m {
+        A := A
+        B := A      ! fine
+        A<3:0> := A<3:0>
+        A<7:4> := A<3:0>  ! different fields: fine
+    }
+}`)
+	if codes(ws)["self-assignment"] != 2 {
+		t.Fatalf("want two self-assignments, got %v", ws)
+	}
+}
+
+func TestLintIncompleteDecode(t *testing.T) {
+	ws := lintOf(t, `
+processor P {
+    reg A<1:0>
+    reg B<7:0>
+    main m {
+        decode A { 0: B := 1  1: B := 2 }
+    }
+}`)
+	if codes(ws)["incomplete-decode"] != 1 {
+		t.Fatalf("want incomplete-decode, got %v", ws)
+	}
+	// With otherwise: clean.
+	ws = lintOf(t, `
+processor P {
+    reg A<1:0>
+    reg B<7:0>
+    main m {
+        decode A { 0: B := 1 otherwise: nop }
+    }
+}`)
+	if codes(ws)["incomplete-decode"] != 0 {
+		t.Fatalf("otherwise arm should silence the warning: %v", ws)
+	}
+	// Full coverage without otherwise: clean.
+	ws = lintOf(t, `
+processor P {
+    reg A<1:0>
+    reg B<7:0>
+    main m {
+        decode A { 0: B := 1  1: B := 2  2: B := 3  3: B := 4 }
+    }
+}`)
+	if codes(ws)["incomplete-decode"] != 0 {
+		t.Fatalf("full coverage should be clean: %v", ws)
+	}
+}
+
+func TestLintProcedures(t *testing.T) {
+	ws := lintOf(t, `
+processor P {
+    reg A<7:0>
+    proc used { A := A + 1 }
+    proc orphan { A := A - 1 }
+    proc hollow { }
+    main m { call used }
+}`)
+	c := codes(ws)
+	if c["unused-procedure"] != 2 { // orphan and hollow
+		t.Errorf("unused-procedure %d, want 2: %v", c["unused-procedure"], ws)
+	}
+	if c["empty-procedure"] != 1 {
+		t.Errorf("empty-procedure %d, want 1: %v", c["empty-procedure"], ws)
+	}
+}
+
+func TestLintDeterministicOrder(t *testing.T) {
+	src := `
+processor P {
+    reg Z1<7:0>
+    reg Z2<7:0>
+    main m { Z1 := Z1 }
+}`
+	a := lintOf(t, src)
+	b := lintOf(t, src)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("order differs: %v vs %v", a[i], b[i])
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1].Pos.Line > a[i].Pos.Line {
+			t.Fatal("warnings not sorted by position")
+		}
+	}
+}

@@ -1,0 +1,381 @@
+package isps
+
+import "fmt"
+
+// Analyze resolves names, folds named constants, infers expression widths,
+// and checks the static semantics of a parsed program:
+//
+//   - unique carrier, constant, and procedure names; exactly one entry body
+//   - calls resolve to declared procedures; the call graph is acyclic
+//   - bit slices lie within the declared range of their carrier
+//   - memory references carry an index; scalar references do not
+//   - input ports are read-only, output ports write-only
+//   - an assignment never silently truncates: the source width must not
+//     exceed the destination width (narrower sources zero-extend, as in ISPS)
+//   - decode case values fit the selector width and are pairwise distinct
+//
+// Analyze mutates the program in place; on failure it returns an ErrorList.
+func Analyze(prog *Program) error {
+	a := &analyzer{prog: prog}
+	a.collect()
+	a.checkProcs()
+	return a.errs.Err()
+}
+
+type analyzer struct {
+	prog *Program
+	errs ErrorList
+}
+
+func (a *analyzer) errorf(pos Pos, format string, args ...any) {
+	a.errs = append(a.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (a *analyzer) collect() {
+	p := a.prog
+	p.symbols = make(map[string]*Decl, len(p.Decls))
+	p.procs = make(map[string]*Proc, len(p.Procs))
+	if p.Consts == nil {
+		p.Consts = map[string]uint64{}
+	}
+	for _, d := range p.Decls {
+		if prev, ok := p.symbols[d.Name]; ok {
+			a.errorf(d.Pos, "%s redeclared (previous declaration at %s)", d.Name, prev.Pos)
+			continue
+		}
+		p.symbols[d.Name] = d
+		if d.Kind == DeclConst {
+			p.Consts[d.Name] = d.Value
+		}
+		if d.Kind == DeclMem && d.Words() < 1 {
+			a.errorf(d.Pos, "memory %s has no words", d.Name)
+		}
+	}
+	for _, pr := range p.Procs {
+		if prev, ok := p.procs[pr.Name]; ok {
+			a.errorf(pr.Pos, "procedure %s redeclared (previous declaration at %s)", pr.Name, prev.Pos)
+			continue
+		}
+		if _, clash := p.symbols[pr.Name]; clash {
+			a.errorf(pr.Pos, "procedure %s collides with a carrier of the same name", pr.Name)
+		}
+		p.procs[pr.Name] = pr
+		if pr.IsMain {
+			if p.Main != nil {
+				a.errorf(pr.Pos, "multiple entry bodies (previous at %s)", p.Main.Pos)
+			} else {
+				p.Main = pr
+			}
+		}
+	}
+	if p.Main == nil && len(p.Procs) > 0 {
+		a.errorf(p.Procs[0].Pos, "no entry body: declare one procedure with 'main'")
+	}
+	if len(p.Procs) == 0 {
+		a.errorf(Pos{File: "", Line: 1, Col: 1}, "processor %s has no behavior", p.Name)
+	}
+}
+
+func (a *analyzer) checkProcs() {
+	for _, pr := range a.prog.Procs {
+		a.checkStmts(pr.Body, false)
+	}
+	a.checkCallGraph()
+}
+
+// checkCallGraph rejects recursion: the Value Trace expansion is finite only
+// for an acyclic call graph.
+func (a *analyzer) checkCallGraph() {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[*Proc]int{}
+	var visit func(pr *Proc) bool
+	var walkStmts func(stmts []Stmt) bool
+	walkStmts = func(stmts []Stmt) bool {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *Call:
+				if s.Callee != nil && !visit(s.Callee) {
+					a.errorf(s.Pos, "recursive call to %s (the value trace requires an acyclic call graph)", s.Name)
+					return false
+				}
+			case *If:
+				if !walkStmts(s.Then) || !walkStmts(s.Else) {
+					return false
+				}
+			case *While:
+				if !walkStmts(s.Body) {
+					return false
+				}
+			case *Repeat:
+				if !walkStmts(s.Body) {
+					return false
+				}
+			case *Decode:
+				for _, c := range s.Cases {
+					if !walkStmts(c.Body) {
+						return false
+					}
+				}
+				if !walkStmts(s.Otherwise) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	visit = func(pr *Proc) bool {
+		switch color[pr] {
+		case gray:
+			return false
+		case black:
+			return true
+		}
+		color[pr] = gray
+		ok := walkStmts(pr.Body)
+		color[pr] = black
+		return ok
+	}
+	for _, pr := range a.prog.Procs {
+		visit(pr)
+	}
+}
+
+func (a *analyzer) checkStmts(stmts []Stmt, inLoop bool) {
+	for _, s := range stmts {
+		a.checkStmt(s, inLoop)
+	}
+}
+
+func (a *analyzer) checkStmt(s Stmt, inLoop bool) {
+	switch s := s.(type) {
+	case *Assign:
+		a.checkAssign(s)
+	case *If:
+		a.inferExpr(s.Cond, 0)
+		a.checkStmts(s.Then, inLoop)
+		a.checkStmts(s.Else, inLoop)
+	case *Decode:
+		w := a.inferExpr(s.Selector, 0)
+		seen := map[uint64]Pos{}
+		for _, c := range s.Cases {
+			for _, v := range c.Values {
+				if w > 0 && w < 64 && v >= 1<<uint(w) {
+					a.errorf(c.Pos, "case value %d does not fit selector width %d", v, w)
+				}
+				if prev, dup := seen[v]; dup {
+					a.errorf(c.Pos, "duplicate case value %d (previous at %s)", v, prev)
+				} else {
+					seen[v] = c.Pos
+				}
+			}
+			a.checkStmts(c.Body, inLoop)
+		}
+		a.checkStmts(s.Otherwise, inLoop)
+	case *While:
+		a.inferExpr(s.Cond, 0)
+		a.checkStmts(s.Body, true)
+	case *Repeat:
+		a.checkStmts(s.Body, true)
+	case *Call:
+		callee := a.prog.procs[s.Name]
+		if callee == nil {
+			a.errorf(s.Pos, "call to undeclared procedure %s", s.Name)
+			return
+		}
+		s.Callee = callee
+	case *Leave:
+		if !inLoop {
+			a.errorf(s.Pos, "leave outside of a loop")
+		}
+	case *Nop:
+	}
+}
+
+func (a *analyzer) checkAssign(s *Assign) {
+	lw := a.checkLValue(s.LHS)
+	rw := a.inferExpr(s.RHS, lw)
+	if lw == 0 || rw == 0 {
+		return // earlier error
+	}
+	if n, ok := s.RHS.(*Num); ok {
+		if lw < 64 && n.Value >= 1<<uint(lw) {
+			a.errorf(n.Pos, "constant %d does not fit destination %s (width %d)", n.Value, s.LHS, lw)
+		}
+		return
+	}
+	if rw > lw {
+		a.errorf(s.Pos, "cannot assign %d-bit value to %d-bit destination %s (no implicit truncation)", rw, lw, s.LHS)
+	}
+}
+
+// checkLValue resolves and validates a destination, returning its width.
+func (a *analyzer) checkLValue(lv *LValue) int {
+	d := a.prog.symbols[lv.Name]
+	if d == nil {
+		a.errorf(lv.Pos, "assignment to undeclared carrier %s", lv.Name)
+		return 0
+	}
+	lv.Decl = d
+	switch d.Kind {
+	case DeclConst:
+		a.errorf(lv.Pos, "cannot assign to constant %s", lv.Name)
+		return 0
+	case DeclPortIn:
+		a.errorf(lv.Pos, "cannot assign to input port %s", lv.Name)
+		return 0
+	case DeclMem:
+		if lv.Index == nil {
+			a.errorf(lv.Pos, "memory %s requires an index", lv.Name)
+			return 0
+		}
+		a.checkMemIndex(d, lv.Index, lv.Pos)
+	default:
+		if lv.Index != nil {
+			a.errorf(lv.Pos, "%s %s is not indexable", d.Kind, lv.Name)
+			return 0
+		}
+	}
+	if lv.HasSel {
+		if d.Kind == DeclMem {
+			a.errorf(lv.Pos, "bit slices of memory words are not supported on the left-hand side")
+			return 0
+		}
+		if lv.Lo < d.Lo || lv.Hi > d.Hi {
+			a.errorf(lv.Pos, "slice <%d:%d> outside declared range %s<%d:%d>", lv.Hi, lv.Lo, d.Name, d.Hi, d.Lo)
+			return 0
+		}
+		return lv.Hi - lv.Lo + 1
+	}
+	return d.Width()
+}
+
+func (a *analyzer) checkMemIndex(d *Decl, idx Expr, pos Pos) {
+	w := a.inferExpr(idx, 0)
+	if n, ok := idx.(*Num); ok {
+		if int(n.Value) < d.ALo || int(n.Value) > d.AHi {
+			a.errorf(pos, "index %d outside memory range %s[%d:%d]", n.Value, d.Name, d.ALo, d.AHi)
+		}
+	}
+	_ = w
+}
+
+// inferExpr computes and stores the width of e. ctx is the width the
+// surrounding context supplies for bare constants (0 when unknown);
+// non-constant expressions derive width from their operands alone.
+func (a *analyzer) inferExpr(e Expr, ctx int) int {
+	switch e := e.(type) {
+	case *Num:
+		w := minWidth(e.Value)
+		if ctx > w {
+			w = ctx
+		}
+		e.Width = w
+		return w
+	case *Ref:
+		return a.inferRef(e)
+	case *UnOp:
+		w := a.inferExpr(e.X, ctx)
+		e.Width = w
+		return w
+	case *BinOp:
+		return a.inferBinOp(e, ctx)
+	}
+	return 0
+}
+
+func (a *analyzer) inferRef(e *Ref) int {
+	// Named constants fold to their value with minimal width.
+	if v, ok := a.prog.Consts[e.Name]; ok {
+		if e.HasSel || e.Index != nil {
+			a.errorf(e.Pos, "constant %s cannot be sliced or indexed", e.Name)
+			return 0
+		}
+		e.Decl = a.prog.symbols[e.Name]
+		e.Width = minWidth(v)
+		return e.Width
+	}
+	d := a.prog.symbols[e.Name]
+	if d == nil {
+		a.errorf(e.Pos, "reference to undeclared carrier %s", e.Name)
+		return 0
+	}
+	e.Decl = d
+	switch d.Kind {
+	case DeclPortOut:
+		a.errorf(e.Pos, "output port %s cannot be read", e.Name)
+		return 0
+	case DeclMem:
+		if e.Index == nil {
+			a.errorf(e.Pos, "memory %s requires an index", e.Name)
+			return 0
+		}
+		a.checkMemIndex(d, e.Index, e.Pos)
+	default:
+		if e.Index != nil {
+			a.errorf(e.Pos, "%s %s is not indexable", d.Kind, e.Name)
+			return 0
+		}
+	}
+	if e.HasSel {
+		if d.Kind == DeclMem {
+			// Slice of a memory word: bounds are relative to the word range.
+			if e.Lo < d.Lo || e.Hi > d.Hi {
+				a.errorf(e.Pos, "slice <%d:%d> outside word range %s<%d:%d>", e.Hi, e.Lo, d.Name, d.Hi, d.Lo)
+				return 0
+			}
+		} else if e.Lo < d.Lo || e.Hi > d.Hi {
+			a.errorf(e.Pos, "slice <%d:%d> outside declared range %s<%d:%d>", e.Hi, e.Lo, d.Name, d.Hi, d.Lo)
+			return 0
+		}
+		e.Width = e.Hi - e.Lo + 1
+		return e.Width
+	}
+	e.Width = d.Width()
+	return e.Width
+}
+
+func (a *analyzer) inferBinOp(e *BinOp, ctx int) int {
+	switch {
+	case e.Op == OpConcat:
+		xw := a.inferExpr(e.X, 0)
+		yw := a.inferExpr(e.Y, 0)
+		e.Width = xw + yw
+		return e.Width
+	case e.Op.IsCompare():
+		xw := a.inferExpr(e.X, 0)
+		yw := a.inferExpr(e.Y, 0)
+		// Re-widen the constant side to match the other operand.
+		if xw < yw {
+			a.inferExpr(e.X, yw)
+		} else if yw < xw {
+			a.inferExpr(e.Y, xw)
+		}
+		e.Width = 1
+		return 1
+	case e.Op == OpSll || e.Op == OpSrl:
+		xw := a.inferExpr(e.X, ctx)
+		a.inferExpr(e.Y, 0)
+		e.Width = xw
+		return xw
+	default: // arithmetic and bitwise: width is the wider operand
+		xw := a.inferExpr(e.X, ctx)
+		yw := a.inferExpr(e.Y, ctx)
+		w := xw
+		if yw > w {
+			w = yw
+		}
+		// Give bare constants the operator's width so hardware matches.
+		if xw < w {
+			a.inferExpr(e.X, w)
+		}
+		if yw < w {
+			a.inferExpr(e.Y, w)
+		}
+		e.Width = w
+		return w
+	}
+}

@@ -1,0 +1,266 @@
+package isps
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// wrap builds a minimal program around one main body.
+func wrap(decls, body string) string {
+	return fmt.Sprintf("processor T {\n%s\nmain m {\n%s\n}\n}", decls, body)
+}
+
+func TestSemaErrors(t *testing.T) {
+	cases := []struct {
+		name, decls, body, wantSub string
+	}{
+		{"undeclared-lhs", "reg A<7:0>", "B := A", "undeclared carrier B"},
+		{"undeclared-rhs", "reg A<7:0>", "A := B", "undeclared carrier B"},
+		{"redeclared", "reg A<7:0> reg A<3:0>", "A := 1", "redeclared"},
+		{"assign-const", "const K = 1", "K := 2", "cannot assign to constant"},
+		{"assign-in-port", "port in X<7:0>", "X := 1", "cannot assign to input port"},
+		{"read-out-port", "port out Y<7:0> reg A<7:0>", "A := Y", "output port Y cannot be read"},
+		{"mem-no-index", "mem M[0:3]<7:0> reg A<7:0>", "A := M", "requires an index"},
+		{"reg-indexed", "reg A<7:0> reg B<7:0>", "A := B[0]", "not indexable"},
+		{"slice-oob", "reg A<7:0> reg B<3:0>", "B := A<11:8>", "outside declared range"},
+		{"lhs-slice-oob", "reg A<7:0>", "A<9:8> := 1", "outside declared range"},
+		{"truncation", "reg A<7:0> reg W<15:0>", "A := W", "no implicit truncation"},
+		{"const-too-big", "reg A<3:0>", "A := 16", "does not fit destination"},
+		{"case-too-big", "reg A<1:0>", "decode A { 5: nop }", "does not fit selector"},
+		{"dup-case", "reg A<1:0>", "decode A { 1: nop 1: nop }", "duplicate case value"},
+		{"undeclared-call", "reg A<7:0>", "call nothere", "undeclared procedure"},
+		{"leave-outside", "reg A<7:0>", "leave", "leave outside of a loop"},
+		{"const-sliced", "const K = 3 reg A<7:0>", "A := K<1:0>", "cannot be sliced"},
+		{"mem-index-oob", "mem M[0:3]<7:0> reg A<7:0>", "A := M[9]", "outside memory range"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse("t", wrap(c.decls, c.body))
+			if err == nil {
+				t.Fatal("expected semantic error, got none")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestSemaValid(t *testing.T) {
+	cases := []struct{ name, decls, body string }{
+		{"zero-extend", "reg A<7:0> reg B<3:0>", "A := B"},
+		{"const-fits", "reg A<3:0>", "A := 15"},
+		{"named-const", "const K = 7 reg A<7:0>", "A := A + K"},
+		{"mem-rw", "mem M[0:15]<7:0> reg A<7:0> reg P<3:0>", "M[P] := A  A := M[P]"},
+		{"slice-rw", "reg A<7:0> reg B<3:0>", "B := A<3:0>  A<7:4> := B"},
+		{"compare-any-width", "reg A<7:0> reg Z", "Z := A gtr 5"},
+		{"if-wide-cond", "reg A<7:0> reg Z", "if A { Z := 1 }"},
+		{"concat", "reg A<3:0> reg B<3:0> reg W<7:0>", "W := A @ B"},
+		{"leave-in-while", "reg A<7:0>", "while A neq 0 { A := A - 1 leave }"},
+		{"leave-in-repeat", "reg A<7:0>", "repeat 2 { leave }"},
+		{"word-slice-read", "mem M[0:3]<7:0> reg B<3:0> reg P<1:0>", "B := M[P]<3:0>"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse("t", wrap(c.decls, c.body)); err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+		})
+	}
+}
+
+func TestSemaRecursionRejected(t *testing.T) {
+	src := `
+processor P {
+    reg A<7:0>
+    proc a { call b }
+    proc b { call a }
+    main m { call a }
+}`
+	_, err := Parse("t", src)
+	if err == nil || !strings.Contains(err.Error(), "recursive") {
+		t.Fatalf("got %v, want recursion error", err)
+	}
+}
+
+func TestSemaSelfRecursionRejected(t *testing.T) {
+	src := `
+processor P {
+    reg A<7:0>
+    proc a { call a }
+    main m { call a }
+}`
+	_, err := Parse("t", src)
+	if err == nil || !strings.Contains(err.Error(), "recursive") {
+		t.Fatalf("got %v, want recursion error", err)
+	}
+}
+
+func TestSemaNoMain(t *testing.T) {
+	_, err := Parse("t", `processor P { reg A<7:0> proc a { A := 1 } }`)
+	if err == nil || !strings.Contains(err.Error(), "no entry body") {
+		t.Fatalf("got %v, want missing-main error", err)
+	}
+}
+
+func TestSemaMultipleMains(t *testing.T) {
+	_, err := Parse("t", `processor P { reg A main a { A := 1 } main b { A := 0 } }`)
+	if err == nil || !strings.Contains(err.Error(), "multiple entry bodies") {
+		t.Fatalf("got %v, want multiple-main error", err)
+	}
+}
+
+func TestSemaWidthInference(t *testing.T) {
+	prog, err := Parse("t", wrap(
+		"reg A<7:0> reg B<3:0> reg Z reg W<11:0>",
+		`W := (A + 1) @ B
+         Z := B lss A`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	concat := prog.Main.Body[0].(*Assign).RHS.(*BinOp)
+	if concat.Width != 12 {
+		t.Errorf("concat width %d, want 12", concat.Width)
+	}
+	add := concat.X.(*BinOp)
+	if add.Width != 8 {
+		t.Errorf("add width %d, want 8", add.Width)
+	}
+	cmp := prog.Main.Body[1].(*Assign).RHS.(*BinOp)
+	if cmp.Width != 1 {
+		t.Errorf("compare width %d, want 1", cmp.Width)
+	}
+}
+
+func TestSemaConstantWidensToContext(t *testing.T) {
+	prog, err := Parse("t", wrap("reg A<15:0>", "A := A + 1"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	add := prog.Main.Body[0].(*Assign).RHS.(*BinOp)
+	one := add.Y.(*Num)
+	if one.Width != 16 {
+		t.Errorf("constant width %d, want 16 (widened by context)", one.Width)
+	}
+}
+
+func TestSemaShiftWidth(t *testing.T) {
+	prog, err := Parse("t", wrap("reg A<7:0> reg N<2:0>", "A := A sll N"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	sh := prog.Main.Body[0].(*Assign).RHS.(*BinOp)
+	if sh.Width != 8 {
+		t.Errorf("shift width %d, want 8 (left operand)", sh.Width)
+	}
+}
+
+func TestMinWidth(t *testing.T) {
+	cases := []struct {
+		v uint64
+		w int
+	}{{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9}, {1 << 40, 41}}
+	for _, c := range cases {
+		if got := minWidth(c.v); got != c.w {
+			t.Errorf("minWidth(%d) = %d, want %d", c.v, got, c.w)
+		}
+	}
+}
+
+// Property: minWidth(v) is the unique w with 2^(w-1) <= v < 2^w (v>0).
+func TestMinWidthProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		if v == 0 {
+			return minWidth(v) == 1
+		}
+		w := minWidth(v)
+		if w < 1 || w > 64 {
+			return false
+		}
+		lo := uint64(1) << uint(w-1)
+		if v < lo {
+			return false
+		}
+		return w == 64 || v < uint64(1)<<uint(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a generated straight-line program over random register widths
+// always parses and analyzes cleanly.
+func TestSemaGeneratedProgramsValid(t *testing.T) {
+	f := func(widths []uint8, seed uint32) bool {
+		if len(widths) == 0 {
+			return true
+		}
+		if len(widths) > 8 {
+			widths = widths[:8]
+		}
+		var decls, body strings.Builder
+		for i, w8 := range widths {
+			w := int(w8%16) + 1
+			fmt.Fprintf(&decls, "reg R%d<%d:0>\n", i, w-1)
+		}
+		// Each statement assigns a register to itself combined with itself:
+		// widths always agree.
+		for i := range widths {
+			op := []string{"+", "and", "or", "xor"}[int(seed)%4]
+			fmt.Fprintf(&body, "R%d := R%d %s R%d\n", i, i, op, i)
+			seed = seed*1664525 + 1013904223
+		}
+		_, err := Parse("t", wrap(decls.String(), body.String()))
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeclStringForms(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"reg A<7:0>", "reg A<7:0>"},
+		{"mem M[0:255]<7:0>", "mem M[0:255]<7:0>"},
+		{"port in X<3:0>", "port in X<3:0>"},
+		{"const K = 9", "const K = 9"},
+	}
+	for _, c := range cases {
+		prog, err := Parse("t", wrap(c.src+"\nreg DUMMY", "DUMMY := 1"))
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if got := prog.Decls[0].String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestExprStringForms(t *testing.T) {
+	prog, err := Parse("t", wrap("reg A<7:0> reg B<7:0> mem M[0:3]<7:0>",
+		"B := not (A + M[1]<3:0>)"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	got := prog.Main.Body[0].(*Assign).RHS.String()
+	want := "(not (A + M[1]<3:0>))"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestLValueString(t *testing.T) {
+	prog, err := Parse("t", wrap("reg A<7:0> mem M[0:3]<7:0> reg P<1:0>",
+		"A<3:0> := 1\nM[P] := A"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := prog.Main.Body[0].(*Assign).LHS.String(); got != "A<3:0>" {
+		t.Errorf("lvalue 0 = %q", got)
+	}
+	if got := prog.Main.Body[1].(*Assign).LHS.String(); got != "M[P]" {
+		t.Errorf("lvalue 1 = %q", got)
+	}
+}

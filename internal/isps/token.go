@@ -1,0 +1,191 @@
+package isps
+
+import "fmt"
+
+// TokenKind enumerates the lexical classes of the ISPS subset.
+type TokenKind int
+
+// Token kinds. Keyword kinds mirror the surface keywords; operator kinds
+// mirror the ISPS operator vocabulary (EQL, NEQ, ... are words in ISPS).
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+
+	// Punctuation.
+	TokLBrace   // {
+	TokRBrace   // }
+	TokLParen   // (
+	TokRParen   // )
+	TokLBracket // [
+	TokRBracket // ]
+	TokLAngle   // <
+	TokRAngle   // >
+	TokColon    // :
+	TokComma    // ,
+	TokSemi     // ;
+	TokAssign   // :=
+	TokConcat   // @
+	TokPlus     // +
+	TokMinus    // -
+	TokEquals   // =
+
+	// Keywords.
+	TokProcessor
+	TokReg
+	TokMem
+	TokPort
+	TokIn
+	TokOut
+	TokConst
+	TokProc
+	TokMain
+	TokIf
+	TokElse
+	TokDecode
+	TokOtherwise
+	TokWhile
+	TokRepeat
+	TokCall
+	TokNop
+	TokLeave
+
+	// Word operators.
+	TokAnd
+	TokOr
+	TokXor
+	TokNot
+	TokEql
+	TokNeq
+	TokLss
+	TokLeq
+	TokGtr
+	TokGeq
+	TokSll
+	TokSrl
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF:       "end of file",
+	TokIdent:     "identifier",
+	TokNumber:    "number",
+	TokLBrace:    "'{'",
+	TokRBrace:    "'}'",
+	TokLParen:    "'('",
+	TokRParen:    "')'",
+	TokLBracket:  "'['",
+	TokRBracket:  "']'",
+	TokLAngle:    "'<'",
+	TokRAngle:    "'>'",
+	TokColon:     "':'",
+	TokComma:     "','",
+	TokSemi:      "';'",
+	TokAssign:    "':='",
+	TokConcat:    "'@'",
+	TokPlus:      "'+'",
+	TokMinus:     "'-'",
+	TokEquals:    "'='",
+	TokProcessor: "'processor'",
+	TokReg:       "'reg'",
+	TokMem:       "'mem'",
+	TokPort:      "'port'",
+	TokIn:        "'in'",
+	TokOut:       "'out'",
+	TokConst:     "'const'",
+	TokProc:      "'proc'",
+	TokMain:      "'main'",
+	TokIf:        "'if'",
+	TokElse:      "'else'",
+	TokDecode:    "'decode'",
+	TokOtherwise: "'otherwise'",
+	TokWhile:     "'while'",
+	TokRepeat:    "'repeat'",
+	TokCall:      "'call'",
+	TokNop:       "'nop'",
+	TokLeave:     "'leave'",
+	TokAnd:       "'and'",
+	TokOr:        "'or'",
+	TokXor:       "'xor'",
+	TokNot:       "'not'",
+	TokEql:       "'eql'",
+	TokNeq:       "'neq'",
+	TokLss:       "'lss'",
+	TokLeq:       "'leq'",
+	TokGtr:       "'gtr'",
+	TokGeq:       "'geq'",
+	TokSll:       "'sll'",
+	TokSrl:       "'srl'",
+}
+
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]TokenKind{
+	"processor": TokProcessor,
+	"reg":       TokReg,
+	"mem":       TokMem,
+	"port":      TokPort,
+	"in":        TokIn,
+	"out":       TokOut,
+	"const":     TokConst,
+	"proc":      TokProc,
+	"main":      TokMain,
+	"if":        TokIf,
+	"else":      TokElse,
+	"decode":    TokDecode,
+	"otherwise": TokOtherwise,
+	"while":     TokWhile,
+	"repeat":    TokRepeat,
+	"call":      TokCall,
+	"nop":       TokNop,
+	"leave":     TokLeave,
+	"and":       TokAnd,
+	"or":        TokOr,
+	"xor":       TokXor,
+	"not":       TokNot,
+	"eql":       TokEql,
+	"neq":       TokNeq,
+	"lss":       TokLss,
+	"leq":       TokLeq,
+	"gtr":       TokGtr,
+	"geq":       TokGeq,
+	"sll":       TokSll,
+	"srl":       TokSrl,
+}
+
+// Pos is a source position within an ISPS description.
+type Pos struct {
+	File string
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // raw text for identifiers and numbers
+	Val  uint64 // decoded value for TokNumber
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case TokNumber:
+		return fmt.Sprintf("number %s", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,343 @@
+package prod
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Rule is a production: a named left-hand side of patterns and a right-hand
+// side action. Category is free-form and used for knowledge-base reporting
+// (the DAA grouped rules by allocation phase).
+type Rule struct {
+	Name     string
+	Category string
+	Doc      string
+	Patterns []Pattern
+	// Where, when non-nil, is an extra join test over the full match.
+	Where func(*Match) bool
+	// Action fires the rule. It may make/modify/remove elements and halt
+	// the engine.
+	Action func(*Engine, *Match)
+
+	index       int
+	specificity int
+	positives   int
+}
+
+// Specificity reports the number of condition tests on the rule's LHS
+// (each pattern counts its class test plus its attribute tests).
+func (r *Rule) Specificity() int {
+	n := 0
+	for _, p := range r.Patterns {
+		n += p.specificity()
+	}
+	return n
+}
+
+// Engine runs a rule set to quiescence over a working memory.
+type Engine struct {
+	WM    *WM
+	rules []*Rule
+
+	// MaxFirings bounds total rule firings as a runaway guard.
+	MaxFirings int
+	// TraceWriter, when non-nil, receives one line per firing.
+	TraceWriter io.Writer
+
+	halted     bool
+	fired      map[refraction]bool
+	firings    int
+	cycles     int
+	matchCalls int
+	perRule    map[string]int
+}
+
+// refraction keys an instantiation: a rule plus the identity *and recency*
+// of the matched elements, so a modified element re-enables its rules, as
+// in OPS5.
+type refraction struct {
+	rule  int
+	sig   [4]int64 // packed (id,time) pairs for up to the first 4 elements
+	extra string   // overflow for rules with >4 positive patterns
+}
+
+// NewEngine returns an engine over wm with no rules.
+func NewEngine(wm *WM) *Engine {
+	return &Engine{
+		WM:         wm,
+		MaxFirings: 1_000_000,
+		fired:      map[refraction]bool{},
+		perRule:    map[string]int{},
+	}
+}
+
+// AddRule registers a rule. Registration order is the final conflict-
+// resolution tiebreaker, so rule sets behave deterministically.
+func (e *Engine) AddRule(r *Rule) {
+	if r.Name == "" {
+		panic("prod: rule without a name")
+	}
+	if r.Action == nil {
+		panic(fmt.Sprintf("prod: rule %s has no action", r.Name))
+	}
+	if len(r.Patterns) == 0 {
+		panic(fmt.Sprintf("prod: rule %s has no patterns", r.Name))
+	}
+	if r.Patterns[0].Negated {
+		panic(fmt.Sprintf("prod: rule %s: first pattern must be positive", r.Name))
+	}
+	rc := *r
+	rc.index = len(e.rules)
+	for _, p := range rc.Patterns {
+		rc.specificity += p.specificity()
+		if !p.Negated {
+			rc.positives++
+		}
+	}
+	e.rules = append(e.rules, &rc)
+}
+
+// Rules returns the registered rules in registration order.
+func (e *Engine) Rules() []*Rule { return e.rules }
+
+// Halt stops the engine after the current firing completes.
+func (e *Engine) Halt() { e.halted = true }
+
+// Firings reports the number of rules fired so far.
+func (e *Engine) Firings() int { return e.firings }
+
+// Cycles reports the number of recognize-act cycles executed.
+func (e *Engine) Cycles() int { return e.cycles }
+
+// FiringsByRule returns a copy of the per-rule firing counts.
+func (e *Engine) FiringsByRule() map[string]int {
+	out := make(map[string]int, len(e.perRule))
+	for k, v := range e.perRule {
+		out[k] = v
+	}
+	return out
+}
+
+// FiringsByCategory aggregates firing counts by rule category.
+func (e *Engine) FiringsByCategory() map[string]int {
+	out := map[string]int{}
+	for _, r := range e.rules {
+		if n := e.perRule[r.Name]; n > 0 {
+			out[r.Category] += n
+		}
+	}
+	return out
+}
+
+// Run executes recognize-act cycles until the conflict set is empty, a rule
+// halts the engine, or MaxFirings is exceeded (an error).
+func (e *Engine) Run() error {
+	for !e.halted {
+		e.cycles++
+		m := e.selectMatch()
+		if m == nil {
+			return nil
+		}
+		if e.firings >= e.MaxFirings {
+			return fmt.Errorf("prod: firing limit %d exceeded (last rule %s)", e.MaxFirings, m.Rule.Name)
+		}
+		e.fired[e.refractionKey(m)] = true
+		e.firings++
+		e.perRule[m.Rule.Name]++
+		if e.TraceWriter != nil {
+			fmt.Fprintf(e.TraceWriter, "%6d  %-40s %s\n", e.firings, m.Rule.Name, matchIDs(m))
+		}
+		m.Rule.Action(e, m)
+	}
+	return nil
+}
+
+func matchIDs(m *Match) string {
+	parts := make([]string, len(m.Elements))
+	for i, el := range m.Elements {
+		parts[i] = fmt.Sprintf("#%d", el.ID)
+	}
+	return strings.Join(parts, " ")
+}
+
+func (e *Engine) refractionKey(m *Match) refraction {
+	k := refraction{rule: m.Rule.index}
+	for i, el := range m.Elements {
+		pack := int64(el.ID)<<32 | int64(el.Time)
+		if i < 4 {
+			k.sig[i] = pack
+		} else {
+			k.extra += fmt.Sprintf("%d:%d;", el.ID, el.Time)
+		}
+	}
+	return k
+}
+
+// selectMatch computes the conflict set and applies conflict resolution:
+//  1. refraction — an instantiation fires at most once per element recency
+//  2. recency — the instantiation whose matched elements are most recent
+//     (compared lexicographically on descending time tags)
+//  3. specificity — more condition tests win
+//  4. registration order, then element IDs (determinism)
+func (e *Engine) selectMatch() *Match {
+	var best *Match
+	var bestKey []int
+	for _, r := range e.rules {
+		e.matchRule(r, func(m *Match) {
+			if e.fired[e.refractionKey(m)] {
+				return
+			}
+			key := recencyKey(m)
+			if best == nil || better(m, key, best, bestKey) {
+				best = m
+				bestKey = key
+			}
+		})
+	}
+	return best
+}
+
+func recencyKey(m *Match) []int {
+	times := make([]int, len(m.Elements))
+	for i, el := range m.Elements {
+		times[i] = el.Time
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(times)))
+	return times
+}
+
+func better(m *Match, key []int, best *Match, bestKey []int) bool {
+	// Recency, lexicographic on descending time tags.
+	for i := 0; i < len(key) && i < len(bestKey); i++ {
+		if key[i] != bestKey[i] {
+			return key[i] > bestKey[i]
+		}
+	}
+	if len(key) != len(bestKey) {
+		return len(key) > len(bestKey)
+	}
+	// Specificity.
+	if m.Rule.specificity != best.Rule.specificity {
+		return m.Rule.specificity > best.Rule.specificity
+	}
+	// Deterministic tiebreakers.
+	if m.Rule.index != best.Rule.index {
+		return m.Rule.index < best.Rule.index
+	}
+	for i := range m.Elements {
+		if m.Elements[i].ID != best.Elements[i].ID {
+			return m.Elements[i].ID < best.Elements[i].ID
+		}
+	}
+	return false
+}
+
+// matchRule enumerates every instantiation of r, invoking yield for each.
+// Candidate elements per pattern come from the narrowest applicable index:
+// an Eq test, or a Bind test whose variable is already bound, hashes
+// directly to the matching elements.
+func (e *Engine) matchRule(r *Rule, yield func(*Match)) {
+	var env bindings
+	els := make([]*Element, 0, len(r.Patterns))
+	var rec func(pi int)
+	rec = func(pi int) {
+		if pi == len(r.Patterns) {
+			m := &Match{Rule: r, Elements: append([]*Element(nil), els...), binds: env.snapshot()}
+			if r.Where == nil || r.Where(m) {
+				yield(m)
+			}
+			return
+		}
+		p := r.Patterns[pi]
+		candidates := e.candidates(p, &env)
+		if p.Negated {
+			for _, el := range candidates {
+				e.matchCalls++
+				if mark, ok := p.match(el, &env); ok {
+					env.undo(mark)
+					return // negation fails
+				}
+			}
+			rec(pi + 1)
+			return
+		}
+		for _, el := range candidates {
+			e.matchCalls++
+			if mark, ok := p.match(el, &env); ok {
+				els = append(els, el)
+				rec(pi + 1)
+				els = els[:len(els)-1]
+				env.undo(mark)
+			}
+		}
+	}
+	rec(0)
+}
+
+// candidates returns the narrowest element set the working-memory indexes
+// offer for a pattern under the current bindings.
+func (e *Engine) candidates(p Pattern, b *bindings) []*Element {
+	best := e.WM.byClass[p.Class]
+	for _, t := range p.tests {
+		if len(best) <= 2 {
+			break // already narrow; further hashing costs more than it saves
+		}
+		var key any
+		switch t.kind {
+		case testEq:
+			key = t.val
+		case testBind:
+			v, bound := b.get(t.vari)
+			if !bound {
+				continue
+			}
+			key = v
+		default:
+			continue
+		}
+		if set := e.WM.lookup(p.Class, t.attr, key); len(set) < len(best) {
+			best = set
+		}
+	}
+	return best
+}
+
+// MatchCount reports how many pattern tests the matcher has executed;
+// exposed for the engine benchmarks.
+func (e *Engine) MatchCount() int { return e.matchCalls }
+
+// KnowledgeStats describes a rule set for reporting (experiment E1).
+type KnowledgeStats struct {
+	Category      string
+	Rules         int
+	MeanLHS       float64 // mean condition tests per rule
+	MeanPositives float64 // mean positive patterns per rule
+}
+
+// Knowledge summarizes the registered rules grouped by category, in first-
+// appearance order.
+func (e *Engine) Knowledge() []KnowledgeStats {
+	order := []string{}
+	agg := map[string]*KnowledgeStats{}
+	for _, r := range e.rules {
+		ks := agg[r.Category]
+		if ks == nil {
+			ks = &KnowledgeStats{Category: r.Category}
+			agg[r.Category] = ks
+			order = append(order, r.Category)
+		}
+		ks.Rules++
+		ks.MeanLHS += float64(r.specificity)
+		ks.MeanPositives += float64(r.positives)
+	}
+	out := make([]KnowledgeStats, 0, len(order))
+	for _, cat := range order {
+		ks := agg[cat]
+		ks.MeanLHS /= float64(ks.Rules)
+		ks.MeanPositives /= float64(ks.Rules)
+		out = append(out, *ks)
+	}
+	return out
+}

@@ -1,0 +1,542 @@
+package prod
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWMMakeGetModifyRemove(t *testing.T) {
+	wm := NewWM()
+	e := wm.Make("op", Attrs{"kind": "add", "width": 8})
+	if e.Str("kind") != "add" || e.Int("width") != 8 {
+		t.Fatalf("attrs: %s", e)
+	}
+	if !e.Has("kind") || e.Has("missing") {
+		t.Error("Has misbehaves")
+	}
+	t0 := e.Time
+	wm.Modify(e, Attrs{"width": 16, "kind": nil})
+	if e.Int("width") != 16 || e.Has("kind") {
+		t.Fatalf("after modify: %s", e)
+	}
+	if e.Time <= t0 {
+		t.Error("modify must bump recency")
+	}
+	if wm.Size() != 1 {
+		t.Errorf("size %d, want 1", wm.Size())
+	}
+	wm.Remove(e)
+	if wm.Size() != 0 || e.Live() {
+		t.Error("remove failed")
+	}
+	wm.Remove(e) // idempotent
+	if wm.Peak() != 1 {
+		t.Errorf("peak %d, want 1", wm.Peak())
+	}
+}
+
+func TestWMNilAttrsSkipped(t *testing.T) {
+	wm := NewWM()
+	e := wm.Make("x", Attrs{"a": nil, "b": 1})
+	if e.Has("a") {
+		t.Error("nil attribute should be absent")
+	}
+}
+
+func TestWMModifyRemovedPanics(t *testing.T) {
+	wm := NewWM()
+	e := wm.Make("x", nil)
+	wm.Remove(e)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on modify-after-remove")
+		}
+	}()
+	wm.Modify(e, Attrs{"a": 1})
+}
+
+func TestWMClassIndex(t *testing.T) {
+	wm := NewWM()
+	wm.Make("a", nil)
+	b1 := wm.Make("b", nil)
+	wm.Make("b", nil)
+	if len(wm.Class("b")) != 2 || len(wm.Class("a")) != 1 || wm.Class("c") != nil {
+		t.Fatal("class index broken")
+	}
+	if wm.First("b") != b1 {
+		t.Error("First should return oldest element")
+	}
+	wm.Remove(b1)
+	if len(wm.Class("b")) != 1 {
+		t.Error("remove did not update index")
+	}
+}
+
+func run(t *testing.T, e *Engine) {
+	t.Helper()
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEngineSimpleFire(t *testing.T) {
+	wm := NewWM()
+	wm.Make("n", Attrs{"v": 3})
+	eng := NewEngine(wm)
+	fired := 0
+	eng.AddRule(&Rule{
+		Name:     "decrement",
+		Patterns: []Pattern{P("n").Pred("v", func(v any) bool { return v.(int) > 0 })},
+		Action: func(e *Engine, m *Match) {
+			fired++
+			e.WM.Modify(m.El(0), Attrs{"v": m.El(0).Int("v") - 1})
+		},
+	})
+	run(t, eng)
+	if fired != 3 {
+		t.Errorf("fired %d, want 3", fired)
+	}
+	if eng.Firings() != 3 {
+		t.Errorf("Firings() %d, want 3", eng.Firings())
+	}
+}
+
+func TestRefractionPreventsRefire(t *testing.T) {
+	wm := NewWM()
+	wm.Make("x", Attrs{"a": 1})
+	eng := NewEngine(wm)
+	fired := 0
+	eng.AddRule(&Rule{
+		Name:     "once",
+		Patterns: []Pattern{P("x").Eq("a", 1)},
+		Action:   func(e *Engine, m *Match) { fired++ }, // no WM change
+	})
+	run(t, eng)
+	if fired != 1 {
+		t.Errorf("fired %d, want 1 (refraction)", fired)
+	}
+}
+
+func TestModifyReenablesRule(t *testing.T) {
+	wm := NewWM()
+	x := wm.Make("x", Attrs{"a": 1})
+	eng := NewEngine(wm)
+	fired := 0
+	eng.AddRule(&Rule{
+		Name:     "watch",
+		Patterns: []Pattern{P("x").Eq("a", 1)},
+		Action: func(e *Engine, m *Match) {
+			fired++
+			if fired == 1 {
+				e.WM.Modify(x, Attrs{"b": true}) // 'a' still 1: matches again
+			}
+		},
+	})
+	run(t, eng)
+	if fired != 2 {
+		t.Errorf("fired %d, want 2 (modify re-enables)", fired)
+	}
+}
+
+func TestRecencyPreferred(t *testing.T) {
+	wm := NewWM()
+	wm.Make("x", Attrs{"tag": "old"})
+	wm.Make("x", Attrs{"tag": "new"})
+	eng := NewEngine(wm)
+	var order []string
+	eng.AddRule(&Rule{
+		Name:     "log",
+		Patterns: []Pattern{P("x").Bind("tag", "t")},
+		Action: func(e *Engine, m *Match) {
+			order = append(order, m.Str("t"))
+		},
+	})
+	run(t, eng)
+	if len(order) != 2 || order[0] != "new" || order[1] != "old" {
+		t.Errorf("order %v, want [new old] (recency)", order)
+	}
+}
+
+func TestSpecificityBreaksTies(t *testing.T) {
+	wm := NewWM()
+	wm.Make("x", Attrs{"a": 1, "b": 2})
+	eng := NewEngine(wm)
+	var winner string
+	record := func(name string) func(*Engine, *Match) {
+		return func(e *Engine, m *Match) {
+			if winner == "" {
+				winner = name
+			}
+			e.Halt()
+		}
+	}
+	eng.AddRule(&Rule{
+		Name:     "loose",
+		Patterns: []Pattern{P("x").Eq("a", 1)},
+		Action:   record("loose"),
+	})
+	eng.AddRule(&Rule{
+		Name:     "tight",
+		Patterns: []Pattern{P("x").Eq("a", 1).Eq("b", 2)},
+		Action:   record("tight"),
+	})
+	run(t, eng)
+	if winner != "tight" {
+		t.Errorf("winner %q, want tight (specificity)", winner)
+	}
+}
+
+func TestVariableUnification(t *testing.T) {
+	wm := NewWM()
+	wm.Make("edge", Attrs{"from": "a", "to": "b"})
+	wm.Make("edge", Attrs{"from": "b", "to": "c"})
+	wm.Make("edge", Attrs{"from": "c", "to": "a"})
+	eng := NewEngine(wm)
+	var chains []string
+	eng.AddRule(&Rule{
+		Name: "chain",
+		Patterns: []Pattern{
+			P("edge").Bind("from", "x").Bind("to", "y"),
+			P("edge").Bind("from", "y").Bind("to", "z"),
+		},
+		Action: func(e *Engine, m *Match) {
+			chains = append(chains, m.Str("x")+m.Str("y")+m.Str("z"))
+		},
+	})
+	run(t, eng)
+	if len(chains) != 3 {
+		t.Fatalf("chains %v, want 3 two-step paths", chains)
+	}
+	want := map[string]bool{"abc": true, "bca": true, "cab": true}
+	for _, c := range chains {
+		if !want[c] {
+			t.Errorf("unexpected chain %q", c)
+		}
+	}
+}
+
+func TestNegatedPattern(t *testing.T) {
+	wm := NewWM()
+	wm.Make("task", Attrs{"name": "t1"})
+	wm.Make("done", Attrs{"task": "t1"})
+	wm.Make("task", Attrs{"name": "t2"})
+	eng := NewEngine(wm)
+	var pending []string
+	eng.AddRule(&Rule{
+		Name: "pending",
+		Patterns: []Pattern{
+			P("task").Bind("name", "n"),
+			N("done").Bind("task", "n"),
+		},
+		Action: func(e *Engine, m *Match) {
+			pending = append(pending, m.Str("n"))
+		},
+	})
+	run(t, eng)
+	if len(pending) != 1 || pending[0] != "t2" {
+		t.Errorf("pending %v, want [t2]", pending)
+	}
+}
+
+func TestWhereJoin(t *testing.T) {
+	wm := NewWM()
+	wm.Make("n", Attrs{"v": 2})
+	wm.Make("n", Attrs{"v": 5})
+	eng := NewEngine(wm)
+	var got []int
+	eng.AddRule(&Rule{
+		Name:     "big",
+		Patterns: []Pattern{P("n").Bind("v", "v")},
+		Where:    func(m *Match) bool { return m.Int("v") > 3 },
+		Action:   func(e *Engine, m *Match) { got = append(got, m.Int("v")) },
+	})
+	run(t, eng)
+	if len(got) != 1 || got[0] != 5 {
+		t.Errorf("got %v, want [5]", got)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	wm := NewWM()
+	for i := 0; i < 10; i++ {
+		wm.Make("x", Attrs{"i": i})
+	}
+	eng := NewEngine(wm)
+	fired := 0
+	eng.AddRule(&Rule{
+		Name:     "halt-first",
+		Patterns: []Pattern{P("x")},
+		Action: func(e *Engine, m *Match) {
+			fired++
+			e.Halt()
+		},
+	})
+	run(t, eng)
+	if fired != 1 {
+		t.Errorf("fired %d, want 1 (halted)", fired)
+	}
+}
+
+func TestFiringLimit(t *testing.T) {
+	wm := NewWM()
+	wm.Make("x", nil)
+	eng := NewEngine(wm)
+	eng.MaxFirings = 10
+	eng.AddRule(&Rule{
+		Name:     "spin",
+		Patterns: []Pattern{P("x")},
+		Action: func(e *Engine, m *Match) {
+			e.WM.Modify(m.El(0), Attrs{"spin": m.El(0).Int("spin") + 1})
+		},
+	})
+	if err := eng.Run(); err == nil {
+		t.Fatal("expected firing-limit error")
+	}
+}
+
+func TestRemoveDisablesMatch(t *testing.T) {
+	wm := NewWM()
+	wm.Make("x", nil)
+	wm.Make("x", nil)
+	eng := NewEngine(wm)
+	fired := 0
+	eng.AddRule(&Rule{
+		Name:     "consume",
+		Patterns: []Pattern{P("x")},
+		Action: func(e *Engine, m *Match) {
+			fired++
+			for _, el := range append([]*Element(nil), e.WM.Class("x")...) {
+				e.WM.Remove(el)
+			}
+		},
+	})
+	run(t, eng)
+	if fired != 1 {
+		t.Errorf("fired %d, want 1 (all elements consumed)", fired)
+	}
+}
+
+func TestAddRulePanics(t *testing.T) {
+	eng := NewEngine(NewWM())
+	cases := []struct {
+		name string
+		rule *Rule
+	}{
+		{"no-name", &Rule{Patterns: []Pattern{P("x")}, Action: func(*Engine, *Match) {}}},
+		{"no-action", &Rule{Name: "r", Patterns: []Pattern{P("x")}}},
+		{"no-patterns", &Rule{Name: "r", Action: func(*Engine, *Match) {}}},
+		{"neg-first", &Rule{Name: "r", Patterns: []Pattern{N("x")}, Action: func(*Engine, *Match) {}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			eng.AddRule(c.rule)
+		})
+	}
+}
+
+func TestUnboundVariablePanics(t *testing.T) {
+	wm := NewWM()
+	wm.Make("x", nil)
+	eng := NewEngine(wm)
+	eng.AddRule(&Rule{
+		Name:     "r",
+		Patterns: []Pattern{P("x")},
+		Action: func(e *Engine, m *Match) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for unbound variable")
+				}
+			}()
+			m.Get("nope")
+		},
+	})
+	run(t, eng)
+}
+
+func TestKnowledgeStats(t *testing.T) {
+	eng := NewEngine(NewWM())
+	nop := func(*Engine, *Match) {}
+	eng.AddRule(&Rule{Name: "a1", Category: "alpha", Patterns: []Pattern{P("x").Eq("k", 1)}, Action: nop})
+	eng.AddRule(&Rule{Name: "a2", Category: "alpha", Patterns: []Pattern{P("x"), N("y")}, Action: nop})
+	eng.AddRule(&Rule{Name: "b1", Category: "beta", Patterns: []Pattern{P("x")}, Action: nop})
+	ks := eng.Knowledge()
+	if len(ks) != 2 {
+		t.Fatalf("categories %d, want 2", len(ks))
+	}
+	if ks[0].Category != "alpha" || ks[0].Rules != 2 {
+		t.Errorf("alpha: %+v", ks[0])
+	}
+	if ks[1].Category != "beta" || ks[1].Rules != 1 {
+		t.Errorf("beta: %+v", ks[1])
+	}
+}
+
+func TestTraceWriter(t *testing.T) {
+	wm := NewWM()
+	wm.Make("x", nil)
+	eng := NewEngine(wm)
+	var sb strings.Builder
+	eng.TraceWriter = &sb
+	eng.AddRule(&Rule{
+		Name:     "traced-rule",
+		Patterns: []Pattern{P("x")},
+		Action:   func(e *Engine, m *Match) {},
+	})
+	run(t, eng)
+	if !strings.Contains(sb.String(), "traced-rule") {
+		t.Errorf("trace missing rule name: %q", sb.String())
+	}
+}
+
+func TestElementStringDeterministic(t *testing.T) {
+	wm := NewWM()
+	e := wm.Make("op", Attrs{"b": 2, "a": 1, "c": 3})
+	want := "(op #0 ^a 1 ^b 2 ^c 3)"
+	if got := e.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// Property: a token-passing rule set fires exactly once per element no
+// matter how many elements exist, and the engine terminates.
+func TestEngineTerminationProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n%50) + 1
+		wm := NewWM()
+		for i := 0; i < count; i++ {
+			wm.Make("tok", Attrs{"i": i})
+		}
+		eng := NewEngine(wm)
+		fired := 0
+		eng.AddRule(&Rule{
+			Name:     "consume",
+			Patterns: []Pattern{P("tok").Absent("seen")},
+			Action: func(e *Engine, m *Match) {
+				fired++
+				e.WM.Modify(m.El(0), Attrs{"seen": true})
+			},
+		})
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		return fired == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: recency ordering means a chain of makes is consumed LIFO.
+func TestEngineRecencyLIFOProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n%20) + 2
+		wm := NewWM()
+		for i := 0; i < count; i++ {
+			wm.Make("tok", Attrs{"i": i})
+		}
+		eng := NewEngine(wm)
+		var order []int
+		eng.AddRule(&Rule{
+			Name:     "pop",
+			Patterns: []Pattern{P("tok")},
+			Action: func(e *Engine, m *Match) {
+				order = append(order, m.El(0).Int("i"))
+				e.WM.Remove(m.El(0))
+			},
+		})
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		for i, v := range order {
+			if v != count-1-i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the (class, attr, value) index agrees with a brute-force scan
+// after arbitrary interleavings of Make, Modify, and Remove.
+func TestIndexConsistencyProperty(t *testing.T) {
+	f := func(ops []uint32) bool {
+		wm := NewWM()
+		var live []*Element
+		for _, o := range ops {
+			switch o % 4 {
+			case 0, 1: // make
+				live = append(live, wm.Make("x", Attrs{"k": int(o % 7)}))
+			case 2: // modify
+				if len(live) > 0 {
+					e := live[int(o>>4)%len(live)]
+					if e.Live() {
+						wm.Modify(e, Attrs{"k": int(o>>8) % 7})
+					}
+				}
+			case 3: // remove
+				if len(live) > 0 {
+					wm.Remove(live[int(o>>4)%len(live)])
+				}
+			}
+		}
+		for k := 0; k < 7; k++ {
+			want := 0
+			for _, e := range wm.Class("x") {
+				if e.Int("k") == k {
+					want++
+				}
+			}
+			if got := len(wm.lookup("x", "k", k)); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The matcher's candidate narrowing via a bound variable must not change
+// results: a join over an indexed attribute finds the same matches as a
+// full scan would.
+func TestIndexedJoinEquivalence(t *testing.T) {
+	wm := NewWM()
+	for i := 0; i < 20; i++ {
+		wm.Make("a", Attrs{"g": i % 3, "i": i})
+		wm.Make("b", Attrs{"g": i % 3, "i": i})
+	}
+	eng := NewEngine(wm)
+	pairs := 0
+	eng.AddRule(&Rule{
+		Name: "join",
+		Patterns: []Pattern{
+			P("a").Bind("g", "g").Absent("seen"),
+			P("b").Bind("g", "g"),
+		},
+		Action: func(e *Engine, m *Match) {
+			pairs++
+			// Retire the 'a' element after counting its partners once.
+			if pairs%1000 == 0 {
+				return
+			}
+			e.WM.Modify(m.El(0), Attrs{"seen": true})
+		},
+	})
+	run(t, eng)
+	// Each of the 20 'a' elements fires once (then is marked seen); each
+	// has ~7 partners but refraction lets only one instantiation fire per
+	// recency change, so exactly 20 firings occur.
+	if pairs != 20 {
+		t.Errorf("joined %d times, want 20", pairs)
+	}
+}

@@ -1,0 +1,201 @@
+package prod
+
+import "fmt"
+
+// testKind enumerates the condition tests a pattern can apply.
+type testKind int
+
+const (
+	testEq      testKind = iota // attribute equals a constant
+	testNeq                     // attribute differs from a constant
+	testBind                    // bind attribute to a variable (unifies)
+	testAbsent                  // attribute absent
+	testPresent                 // attribute present
+	testPred                    // attribute satisfies a predicate
+)
+
+type test struct {
+	kind testKind
+	attr string
+	val  any
+	vari string
+	pred func(any) bool
+}
+
+// Pattern matches one working-memory element of a given class, subject to
+// attribute tests. Patterns are value types built fluently:
+//
+//	prod.P("op").Eq("kind", "add").Bind("op", "o").Absent("unit")
+//
+// A variable bound by one pattern unifies with later occurrences in the
+// same rule, exactly as OPS5 pattern variables did.
+type Pattern struct {
+	Class   string
+	Negated bool
+	tests   []test
+}
+
+// P starts a positive pattern on a class.
+func P(class string) Pattern { return Pattern{Class: class} }
+
+// N starts a negated pattern: the rule matches only if no element of this
+// class satisfies the tests under the current bindings.
+func N(class string) Pattern { return Pattern{Class: class, Negated: true} }
+
+// Eq requires attr to equal the constant v.
+func (p Pattern) Eq(attr string, v any) Pattern {
+	p.tests = append(append([]test(nil), p.tests...), test{kind: testEq, attr: attr, val: v})
+	return p
+}
+
+// Neq requires attr to differ from the constant v (absent attributes differ).
+func (p Pattern) Neq(attr string, v any) Pattern {
+	p.tests = append(append([]test(nil), p.tests...), test{kind: testNeq, attr: attr, val: v})
+	return p
+}
+
+// Bind unifies attr with the named variable: the first occurrence binds it,
+// later occurrences must match. The attribute must be present.
+func (p Pattern) Bind(attr, variable string) Pattern {
+	p.tests = append(append([]test(nil), p.tests...), test{kind: testBind, attr: attr, vari: variable})
+	return p
+}
+
+// Absent requires attr to be missing.
+func (p Pattern) Absent(attr string) Pattern {
+	p.tests = append(append([]test(nil), p.tests...), test{kind: testAbsent, attr: attr})
+	return p
+}
+
+// Present requires attr to be present.
+func (p Pattern) Present(attr string) Pattern {
+	p.tests = append(append([]test(nil), p.tests...), test{kind: testPresent, attr: attr})
+	return p
+}
+
+// Pred requires attr to be present and satisfy f.
+func (p Pattern) Pred(attr string, f func(any) bool) Pattern {
+	p.tests = append(append([]test(nil), p.tests...), test{kind: testPred, attr: attr, pred: f})
+	return p
+}
+
+// specificity counts the tests contributed to conflict resolution.
+func (p Pattern) specificity() int { return len(p.tests) + 1 } // +1 for the class test
+
+// match checks the pattern against an element under the mutable binding
+// environment. On success any new variables remain bound; the caller
+// restores the environment to the returned mark when backtracking.
+func (p Pattern) match(e *Element, b *bindings) (mark int, ok bool) {
+	mark = b.mark()
+	if e.Class != p.Class {
+		return mark, false
+	}
+	for _, t := range p.tests {
+		v, present := e.lookup(t.attr)
+		switch t.kind {
+		case testEq:
+			if !present || v != t.val {
+				b.undo(mark)
+				return mark, false
+			}
+		case testNeq:
+			if present && v == t.val {
+				b.undo(mark)
+				return mark, false
+			}
+		case testBind:
+			if !present {
+				b.undo(mark)
+				return mark, false
+			}
+			if bound, has := b.get(t.vari); has {
+				if bound != v {
+					b.undo(mark)
+					return mark, false
+				}
+			} else {
+				b.push(t.vari, v)
+			}
+		case testAbsent:
+			if present {
+				b.undo(mark)
+				return mark, false
+			}
+		case testPresent:
+			if !present {
+				b.undo(mark)
+				return mark, false
+			}
+		case testPred:
+			if !present || !t.pred(v) {
+				b.undo(mark)
+				return mark, false
+			}
+		}
+	}
+	return mark, true
+}
+
+// bindings is a mutable variable environment with trail-based undo: binds
+// push, backtracking truncates. This keeps the matcher allocation-free on
+// failed candidates, which dominate the join work.
+type bindings struct {
+	names []string
+	vals  []any
+}
+
+func (b *bindings) get(name string) (any, bool) {
+	for i, n := range b.names {
+		if n == name {
+			return b.vals[i], true
+		}
+	}
+	return nil, false
+}
+
+func (b *bindings) push(name string, v any) {
+	b.names = append(b.names, name)
+	b.vals = append(b.vals, v)
+}
+
+func (b *bindings) mark() int { return len(b.names) }
+
+func (b *bindings) undo(mark int) {
+	b.names = b.names[:mark]
+	b.vals = b.vals[:mark]
+}
+
+// snapshot copies the environment for storage in a Match.
+func (b *bindings) snapshot() bindings {
+	return bindings{
+		names: append([]string(nil), b.names...),
+		vals:  append([]any(nil), b.vals...),
+	}
+}
+
+// Match is one instantiation in the conflict set: the rule plus the
+// elements matched by its positive patterns and the variable bindings.
+type Match struct {
+	Rule     *Rule
+	Elements []*Element // one per positive pattern, in pattern order
+	binds    bindings
+}
+
+// El returns the element matched by the i-th positive pattern.
+func (m *Match) El(i int) *Element { return m.Elements[i] }
+
+// Get returns the value bound to a pattern variable; it panics on unbound
+// variables, which always indicates a rule-authoring bug.
+func (m *Match) Get(name string) any {
+	v, ok := m.binds.get(name)
+	if !ok {
+		panic(fmt.Sprintf("prod: rule %s: unbound variable %q", m.Rule.Name, name))
+	}
+	return v
+}
+
+// Int returns a variable as int.
+func (m *Match) Int(name string) int { return m.Get(name).(int) }
+
+// Str returns a variable as string.
+func (m *Match) Str(name string) string { return m.Get(name).(string) }

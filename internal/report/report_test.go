@@ -1,0 +1,88 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var sb strings.Builder
+	New("Demo", "name", "count").
+		Row("alpha", 1).
+		Row("a-much-longer-name", 12345).
+		Render(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title line %q", lines[0])
+	}
+	// Layout: title, rule, header, rule, then the data rows.
+	if !strings.HasPrefix(lines[1], "=") || !strings.HasPrefix(lines[3], "-") {
+		t.Errorf("unexpected layout:\n%s", out)
+	}
+	if !strings.HasSuffix(lines[4], "1") {
+		t.Errorf("row misaligned: %q", lines[4])
+	}
+	if !strings.Contains(out, "12345") {
+		t.Error("missing cell value")
+	}
+}
+
+func TestTableFloatsFormatted(t *testing.T) {
+	var sb strings.Builder
+	New("F", "v").Row(1.23456).Render(&sb)
+	if !strings.Contains(sb.String(), "1.23") || strings.Contains(sb.String(), "1.23456") {
+		t.Errorf("float formatting: %q", sb.String())
+	}
+}
+
+func TestTableNotes(t *testing.T) {
+	var sb strings.Builder
+	New("N", "v").Row(1).Note("ratio %.1fx", 2.5).Render(&sb)
+	if !strings.Contains(sb.String(), "note: ratio 2.5x") {
+		t.Errorf("missing note: %q", sb.String())
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	var sb strings.Builder
+	New("S", "a", "b", "c").Row("only-one").Render(&sb)
+	if !strings.Contains(sb.String(), "only-one") {
+		t.Error("short row dropped")
+	}
+}
+
+func TestSeriesBars(t *testing.T) {
+	var sb strings.Builder
+	Series(&sb, "Bars", []string{"x", "y"}, []float64{10, 20})
+	out := sb.String()
+	if !strings.Contains(out, "Bars") {
+		t.Error("missing title")
+	}
+	xLine, yLine := "", ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "x") {
+			xLine = l
+		}
+		if strings.HasPrefix(l, "y") {
+			yLine = l
+		}
+	}
+	if strings.Count(yLine, "#") != 50 {
+		t.Errorf("max bar should be 50 wide: %q", yLine)
+	}
+	if strings.Count(xLine, "#") != 25 {
+		t.Errorf("half bar should be 25 wide: %q", xLine)
+	}
+}
+
+func TestSeriesAllZero(t *testing.T) {
+	var sb strings.Builder
+	Series(&sb, "Z", []string{"a"}, []float64{0})
+	if strings.Contains(sb.String(), "#") {
+		t.Error("zero series should draw no bars")
+	}
+}

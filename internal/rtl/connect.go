@@ -1,0 +1,208 @@
+package rtl
+
+import (
+	"fmt"
+
+	"repro/internal/vt"
+)
+
+// validateConnectivity checks that every scheduled data transfer rides
+// allocated hardware: operand values reach their unit's operand ports,
+// written values reach their destination register/memory/port, and values
+// parked in holding registers get there from their producers. Paths may
+// pass through multiplexers (searched to a small depth, so mux trees built
+// by the cleanup rules remain valid).
+//
+// Selector values of SELECT/LOOP operators feed the controller, which the
+// paper costs as control logic rather than datapath links, so they are not
+// checked here.
+func (d *Design) validateConnectivity() error {
+	for _, op := range d.Trace.AllOps() {
+		if err := d.checkOpConnectivity(op); err != nil {
+			return err
+		}
+	}
+	// Values parked in holding registers must be reachable from their
+	// producing hardware.
+	for v, r := range d.ValueReg {
+		srcs, err := d.ValueSources(v, d.OpState[v.Def])
+		if err != nil {
+			return err
+		}
+		dst := Endpoint{Kind: EPRegIn, Comp: r}
+		for _, src := range srcs {
+			if !d.Feeds(src, dst, 0) {
+				return fmt.Errorf("rtl: no path parking %s into %s (from %s)", v, r, src)
+			}
+		}
+	}
+	return nil
+}
+
+func (d *Design) checkOpConnectivity(op *vt.Op) error {
+	s := d.OpState[op]
+	switch {
+	case op.Kind.IsCompute():
+		u := d.OpUnit[op]
+		dst := func(i int) Endpoint { return Endpoint{Kind: EPUnitIn, Comp: u, Index: i} }
+		switch len(op.Args) {
+		case 1:
+			return d.checkTransfer(op.Args[0], s, dst(0), op)
+		case 2:
+			// The binder chooses operand port assignment; accept either
+			// orientation (commutative units may swap).
+			errA := firstErr(
+				d.checkTransfer(op.Args[0], s, dst(0), op),
+				d.checkTransfer(op.Args[1], s, dst(1), op),
+			)
+			if errA == nil {
+				return nil
+			}
+			errB := firstErr(
+				d.checkTransfer(op.Args[0], s, dst(1), op),
+				d.checkTransfer(op.Args[1], s, dst(0), op),
+			)
+			if errB == nil {
+				return nil
+			}
+			return errA
+		}
+		return nil
+	case op.Kind == vt.OpWrite:
+		car := op.Carrier
+		var dst Endpoint
+		if car.Kind == vt.CarPortOut {
+			dst = Endpoint{Kind: EPPortOut, Comp: d.CarrierPort[car]}
+		} else {
+			dst = Endpoint{Kind: EPRegIn, Comp: d.CarrierReg[car]}
+		}
+		return d.checkTransfer(op.Args[0], s, dst, op)
+	case op.Kind == vt.OpMemRead:
+		mem := d.CarrierMem[op.Carrier]
+		return d.checkTransfer(op.Args[0], s, Endpoint{Kind: EPMemAddr, Comp: mem}, op)
+	case op.Kind == vt.OpMemWrite:
+		mem := d.CarrierMem[op.Carrier]
+		if err := d.checkTransfer(op.Args[0], s, Endpoint{Kind: EPMemAddr, Comp: mem}, op); err != nil {
+			return err
+		}
+		return d.checkTransfer(op.Args[1], s, Endpoint{Kind: EPMemDataIn, Comp: mem}, op)
+	}
+	return nil
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Design) checkTransfer(v *vt.Value, s *State, dst Endpoint, op *vt.Op) error {
+	srcs, err := d.ValueSources(v, s)
+	if err != nil {
+		return fmt.Errorf("rtl: op %s: %v", op, err)
+	}
+	for _, src := range srcs {
+		if !d.Feeds(src, dst, 0) {
+			return fmt.Errorf("rtl: op %s: no path from %s to %s", op, src, dst)
+		}
+	}
+	return nil
+}
+
+// ValueSources returns the hardware endpoints supplying v to a consumer in
+// state s. Wiring operators are transparent: a slice reads through to its
+// argument's sources and a concatenation contributes the sources of both
+// halves.
+func (d *Design) ValueSources(v *vt.Value, s *State) ([]Endpoint, error) {
+	def := v.Def
+	if def == nil {
+		return nil, fmt.Errorf("value %s has no producer", v)
+	}
+	// A value consumed in a later step than its producer lives in its
+	// holding register (constants and plain register reads persist on
+	// their own).
+	if s != nil && d.OpState[def] != s && !v.IsConst && def.Kind != vt.OpRead {
+		r := d.ValueReg[v]
+		if r == nil {
+			return nil, fmt.Errorf("value %s crosses steps without a register", v)
+		}
+		return []Endpoint{{Kind: EPRegOut, Comp: r}}, nil
+	}
+	switch def.Kind {
+	case vt.OpConst:
+		for _, c := range d.Consts {
+			if c.Value == v.ConstVal && c.Width >= v.Width {
+				return []Endpoint{{Kind: EPConst, Comp: c}}, nil
+			}
+		}
+		return nil, fmt.Errorf("constant %s not allocated", v)
+	case vt.OpRead:
+		car := def.Carrier
+		if car.Kind == vt.CarPortIn {
+			p := d.CarrierPort[car]
+			if p == nil {
+				return nil, fmt.Errorf("port carrier %s unbound", car.Name)
+			}
+			return []Endpoint{{Kind: EPPortIn, Comp: p}}, nil
+		}
+		r := d.CarrierReg[car]
+		if r == nil {
+			return nil, fmt.Errorf("carrier %s unbound", car.Name)
+		}
+		return []Endpoint{{Kind: EPRegOut, Comp: r}}, nil
+	case vt.OpMemRead:
+		m := d.CarrierMem[def.Carrier]
+		if m == nil {
+			return nil, fmt.Errorf("memory carrier %s unbound", def.Carrier.Name)
+		}
+		return []Endpoint{{Kind: EPMemDataOut, Comp: m}}, nil
+	case vt.OpSlice:
+		return d.ValueSources(def.Args[0], s)
+	case vt.OpConcat:
+		j := d.OpJunction[def]
+		if j == nil {
+			return nil, fmt.Errorf("concat %s has no wiring junction", def)
+		}
+		return []Endpoint{{Kind: EPJunctionOut, Comp: j}}, nil
+	default:
+		if def.Kind.IsCompute() {
+			u := d.OpUnit[def]
+			if u == nil {
+				return nil, fmt.Errorf("producer of %s unbound", v)
+			}
+			return []Endpoint{{Kind: EPUnitOut, Comp: u}}, nil
+		}
+		return nil, fmt.Errorf("value %s produced by non-data operator %s", v, def.Kind)
+	}
+}
+
+// Feeds reports whether src reaches dst directly or through multiplexers.
+func (d *Design) Feeds(src, dst Endpoint, depth int) bool {
+	if depth > 4 {
+		return false
+	}
+	for _, l := range d.Links {
+		if l.From != src {
+			continue
+		}
+		if l.To == dst {
+			return true
+		}
+		if l.To.Kind == EPMuxIn {
+			m := l.To.Comp.(*Mux)
+			if d.Feeds(Endpoint{Kind: EPMuxOut, Comp: m}, dst, depth+1) {
+				return true
+			}
+		}
+		if l.To.Kind == EPJunctionIn {
+			j := l.To.Comp.(*Junction)
+			if d.Feeds(Endpoint{Kind: EPJunctionOut, Comp: j}, dst, depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}

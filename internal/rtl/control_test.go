@@ -1,0 +1,203 @@
+package rtl_test
+
+// Control derivation is tested against real allocations, so the tests live
+// in an external package that may import the allocators.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/isps"
+	"repro/internal/rtl"
+	"repro/internal/vt"
+)
+
+func designFor(t *testing.T, src string) *rtl.Design {
+	t.Helper()
+	prog, err := isps.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := vt.Build(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Synthesize(tr, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Design
+}
+
+func TestControlTableAllBenchmarks(t *testing.T) {
+	for _, name := range bench.Names() {
+		t.Run(name, func(t *testing.T) {
+			tr, err := bench.Load(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Synthesize(tr, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := res.Design.ControlTable(); err != nil {
+				t.Errorf("daa: %v", err)
+			}
+			tr2, _ := bench.Load(name)
+			le, err := alloc.LeftEdge(tr2, alloc.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := le.ControlTable(); err != nil {
+				t.Errorf("left-edge: %v", err)
+			}
+			tr3, _ := bench.Load(name)
+			nv, err := alloc.Naive(tr3, alloc.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := nv.ControlTable(); err != nil {
+				t.Errorf("naive: %v", err)
+			}
+		})
+	}
+}
+
+func TestControlTableSignals(t *testing.T) {
+	d := designFor(t, `
+processor P {
+    reg A<7:0>
+    reg B<7:0>
+    main m { A := A + B }
+}`)
+	table, err := d.ControlTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != len(d.States) {
+		t.Fatalf("table rows %d, states %d", len(table), len(d.States))
+	}
+	// The single step loads A and runs the adder.
+	sc := table[0]
+	if len(sc.Loads) != 1 || sc.Loads[0].Name != "A" {
+		t.Errorf("loads %v, want [A]", sc.Loads)
+	}
+	if len(sc.UnitFn) != 1 {
+		t.Errorf("unit selects %v, want one adder", sc.UnitFn)
+	}
+	for _, fn := range sc.UnitFn {
+		if fn != vt.OpAdd {
+			t.Errorf("function %v, want add", fn)
+		}
+	}
+}
+
+func TestControlTableMuxSelectsDiffer(t *testing.T) {
+	// A shared adder fed from different registers in different steps must
+	// assert different mux ways.
+	d := designFor(t, `
+processor P {
+    reg A<7:0>
+    reg B<7:0>
+    main m {
+        A := A + 1
+        B := B + 1
+    }
+}`)
+	table, err := d.ControlTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sels := map[int]bool{}
+	for _, sc := range table {
+		for _, way := range sc.MuxSel {
+			sels[way] = true
+		}
+	}
+	if len(sels) < 2 {
+		t.Errorf("mux ways used %v, want at least two distinct selections", sels)
+	}
+}
+
+func TestControlStatsAndRender(t *testing.T) {
+	d := designFor(t, `
+processor P {
+    reg A<7:0>
+    reg Z
+    main m {
+        if Z { A := A + 1 } else { A := A - 1 }
+    }
+}`)
+	cs, err := d.ControlStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.States != len(d.States) || cs.Signals == 0 || cs.MaxSignals == 0 {
+		t.Errorf("implausible control stats: %+v", cs)
+	}
+	var sb strings.Builder
+	if err := d.WriteControlTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "load A") {
+		t.Errorf("control table missing load:\n%s", out)
+	}
+	if !strings.Contains(out, "=add") || !strings.Contains(out, "=sub") {
+		t.Errorf("control table missing function selects:\n%s", out)
+	}
+}
+
+func TestConcatUsesJunctionNotMux(t *testing.T) {
+	// A concat feeding a port is parallel wiring: a junction, never a mux.
+	d := designFor(t, `
+processor P {
+    reg A<3:0>
+    reg B<3:0>
+    port out W<7:0>
+    main m { W := A @ B }
+}`)
+	if len(d.Junctions) != 1 {
+		t.Fatalf("junctions %d, want 1", len(d.Junctions))
+	}
+	if len(d.Muxes) != 0 {
+		t.Fatalf("muxes %d, want 0 (concat is wiring)", len(d.Muxes))
+	}
+	if _, err := d.ControlTable(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartialWritesSerialize(t *testing.T) {
+	// Two field writes to P in one description must land in different
+	// steps (strictly one write per register per step).
+	d := designFor(t, `
+processor P {
+    reg PS<7:0>
+    reg A<7:0>
+    main m {
+        PS<0:0> := A eql 0
+        PS<7:7> := A<7:7>
+    }
+}`)
+	steps := map[int]bool{}
+	for _, st := range d.States {
+		for _, op := range st.Ops {
+			if op.Kind == vt.OpWrite && op.Carrier.Name == "PS" {
+				if steps[st.Index] {
+					t.Fatalf("two writes to PS in step %d", st.Index)
+				}
+				steps[st.Index] = true
+			}
+		}
+	}
+	if len(steps) != 2 {
+		t.Fatalf("PS written in %d steps, want 2", len(steps))
+	}
+	if _, err := d.ControlTable(); err != nil {
+		t.Fatal(err)
+	}
+}

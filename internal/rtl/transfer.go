@@ -1,0 +1,98 @@
+package rtl
+
+import (
+	"fmt"
+
+	"repro/internal/vt"
+)
+
+// Transfer is one datapath movement the design must realize: a value
+// arriving at a sink endpoint during a control step. Operand transfers list
+// their consuming operator; parking transfers (Park=true) move a value into
+// its holding register at the producer's step.
+//
+// Link accounting follows the paper's register-transfer diagrams: a link is
+// an endpoint-to-endpoint connection; bit selection and concatenation are
+// free wiring attached to the link, so two different slices of one register
+// into the same port share a single counted link.
+type Transfer struct {
+	Op    *vt.Op // consuming operator; nil for parking transfers
+	Val   *vt.Value
+	State *State
+	Dst   Endpoint
+	Park  bool
+}
+
+// Transfers enumerates every datapath transfer implied by the trace under
+// the current bindings (states, units, carriers, holding registers).
+// Selector values of SELECT/LOOP operators feed the controller and are not
+// datapath transfers.
+func (d *Design) Transfers() ([]Transfer, error) {
+	var out []Transfer
+	for _, op := range d.Trace.AllOps() {
+		s := d.OpState[op]
+		switch {
+		case op.Kind.IsCompute():
+			u := d.OpUnit[op]
+			if u == nil {
+				return nil, fmt.Errorf("rtl: compute op %s unbound", op)
+			}
+			for i, a := range op.Args {
+				out = append(out, Transfer{Op: op, Val: a, State: s,
+					Dst: Endpoint{Kind: EPUnitIn, Comp: u, Index: i}})
+			}
+		case op.Kind == vt.OpWrite:
+			car := op.Carrier
+			var dst Endpoint
+			if car.Kind == vt.CarPortOut {
+				p := d.CarrierPort[car]
+				if p == nil {
+					return nil, fmt.Errorf("rtl: port carrier %s unbound", car.Name)
+				}
+				dst = Endpoint{Kind: EPPortOut, Comp: p}
+			} else {
+				r := d.CarrierReg[car]
+				if r == nil {
+					return nil, fmt.Errorf("rtl: carrier %s unbound", car.Name)
+				}
+				dst = Endpoint{Kind: EPRegIn, Comp: r}
+			}
+			out = append(out, Transfer{Op: op, Val: op.Args[0], State: s, Dst: dst})
+		case op.Kind == vt.OpMemRead || op.Kind == vt.OpMemWrite:
+			m := d.CarrierMem[op.Carrier]
+			if m == nil {
+				return nil, fmt.Errorf("rtl: memory carrier %s unbound", op.Carrier.Name)
+			}
+			out = append(out, Transfer{Op: op, Val: op.Args[0], State: s,
+				Dst: Endpoint{Kind: EPMemAddr, Comp: m}})
+			if op.Kind == vt.OpMemWrite {
+				out = append(out, Transfer{Op: op, Val: op.Args[1], State: s,
+					Dst: Endpoint{Kind: EPMemDataIn, Comp: m}})
+			}
+		}
+	}
+	for v, r := range d.ValueReg {
+		out = append(out, Transfer{Val: v, State: d.OpState[v.Def],
+			Dst: Endpoint{Kind: EPRegIn, Comp: r}, Park: true})
+	}
+	return out, nil
+}
+
+// ConstLeaves returns the constant values reachable from v through wiring
+// operators (slices and concatenations); these need hardwired constant
+// sources in the design.
+func ConstLeaves(v *vt.Value) []*vt.Value {
+	if v.IsConst {
+		return []*vt.Value{v}
+	}
+	if v.Def == nil {
+		return nil
+	}
+	switch v.Def.Kind {
+	case vt.OpSlice:
+		return ConstLeaves(v.Def.Args[0])
+	case vt.OpConcat:
+		return append(ConstLeaves(v.Def.Args[0]), ConstLeaves(v.Def.Args[1])...)
+	}
+	return nil
+}

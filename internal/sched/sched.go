@@ -1,0 +1,333 @@
+// Package sched partitions value-trace bodies into control steps — the
+// control-allocation substrate of the VLSI Design Automation Assistant.
+//
+// Step semantics match the register-transfer model in internal/rtl:
+// combinational operators (reads, computes, wiring) may chain within a
+// step; register writes, memory writes, and control operators take effect
+// at end-of-step, so their dependents must occupy strictly later steps.
+//
+// ASAP and ALAP give the unconstrained extremes and mobility; List performs
+// resource-constrained list scheduling honoring per-operation-kind unit
+// caps, single-ported memories, and one-write-per-register-per-step.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vt"
+)
+
+// Limits bounds the resources the list scheduler may assume per step.
+// The zero value means: unlimited units, single-ported memories.
+type Limits struct {
+	// UnitsPerKind caps concurrent compute operators by kind (0 = no cap).
+	UnitsPerKind map[vt.OpKind]int
+	// MemPorts caps accesses per memory per step; 0 means 1 (single port).
+	MemPorts int
+	// MaxOpsPerStep caps the total operators per step (0 = no cap).
+	MaxOpsPerStep int
+}
+
+func (l Limits) memPorts() int {
+	if l.MemPorts <= 0 {
+		return 1
+	}
+	return l.MemPorts
+}
+
+// Schedule assigns each operator of one body to a control step.
+type Schedule struct {
+	Body  *vt.Body
+	Steps [][]*vt.Op
+	OfOp  map[*vt.Op]int
+}
+
+// Len reports the number of control steps.
+func (s *Schedule) Len() int { return len(s.Steps) }
+
+// StrictAfter reports whether dependents of dep must sit in a strictly
+// later step (dep commits at end-of-step).
+func StrictAfter(dep *vt.Op) bool {
+	return dep.Kind == vt.OpWrite || dep.Kind == vt.OpMemWrite || dep.Kind.IsControl()
+}
+
+// ASAP schedules each operator as early as dependences permit, with
+// unlimited resources.
+func ASAP(b *vt.Body) *Schedule {
+	s := &Schedule{Body: b, OfOp: make(map[*vt.Op]int, len(b.Ops))}
+	for _, op := range b.Ops {
+		step := 0
+		for _, dep := range op.Deps {
+			min := s.OfOp[dep]
+			if StrictAfter(dep) {
+				min++
+			}
+			if min > step {
+				step = min
+			}
+		}
+		s.OfOp[op] = step
+		for len(s.Steps) <= step {
+			s.Steps = append(s.Steps, nil)
+		}
+		s.Steps[step] = append(s.Steps[step], op)
+	}
+	return s
+}
+
+// ALAP schedules each operator as late as dependences permit within the
+// given schedule length (typically the ASAP length). It panics if length
+// is infeasible.
+func ALAP(b *vt.Body, length int) *Schedule {
+	if length <= 0 {
+		length = 1
+	}
+	succs := successors(b)
+	s := &Schedule{Body: b, OfOp: make(map[*vt.Op]int, len(b.Ops))}
+	s.Steps = make([][]*vt.Op, length)
+	for i := len(b.Ops) - 1; i >= 0; i-- {
+		op := b.Ops[i]
+		step := length - 1
+		for _, succ := range succs[op] {
+			max := s.OfOp[succ]
+			if StrictAfter(op) {
+				max--
+			}
+			if max < step {
+				step = max
+			}
+		}
+		if step < 0 {
+			panic(fmt.Sprintf("sched: ALAP length %d infeasible for body %s", length, b.Name))
+		}
+		s.OfOp[op] = step
+		s.Steps[step] = append(s.Steps[step], op)
+	}
+	// Keep per-step op order consistent with program order.
+	for _, ops := range s.Steps {
+		sort.Slice(ops, func(i, j int) bool { return ops[i].Seq < ops[j].Seq })
+	}
+	return s
+}
+
+func successors(b *vt.Body) map[*vt.Op][]*vt.Op {
+	succs := make(map[*vt.Op][]*vt.Op, len(b.Ops))
+	for _, op := range b.Ops {
+		for _, dep := range op.Deps {
+			succs[dep] = append(succs[dep], op)
+		}
+	}
+	return succs
+}
+
+// Mobility returns ALAP(op) - ASAP(op) for every operator of the body —
+// the slack the list scheduler uses as its priority.
+func Mobility(b *vt.Body) map[*vt.Op]int {
+	asap := ASAP(b)
+	alap := ALAP(b, asap.Len())
+	m := make(map[*vt.Op]int, len(b.Ops))
+	for _, op := range b.Ops {
+		m[op] = alap.OfOp[op] - asap.OfOp[op]
+	}
+	return m
+}
+
+// List performs resource-constrained list scheduling: operators become
+// ready when their dependences are satisfied and are packed into the
+// current step by ascending mobility (critical path first), subject to the
+// limits.
+func List(b *vt.Body, lim Limits) *Schedule {
+	if len(b.Ops) == 0 {
+		return &Schedule{Body: b, OfOp: map[*vt.Op]int{}}
+	}
+	mobility := Mobility(b)
+	s := &Schedule{Body: b, OfOp: make(map[*vt.Op]int, len(b.Ops))}
+	scheduled := make(map[*vt.Op]bool, len(b.Ops))
+	remaining := len(b.Ops)
+
+	for step := 0; remaining > 0; step++ {
+		if step > 4*len(b.Ops)+4 {
+			panic(fmt.Sprintf("sched: list scheduler stuck on body %s", b.Name))
+		}
+		var placed []*vt.Op
+		usedKind := map[vt.OpKind]int{}
+		usedMem := map[*vt.Carrier]int{}
+		regWrites := map[*vt.Carrier][]*vt.Op{}
+		total := 0
+		for {
+			ready := readyOps(b, s, scheduled, step)
+			if len(ready) == 0 {
+				break
+			}
+			sort.Slice(ready, func(i, j int) bool {
+				if mobility[ready[i]] != mobility[ready[j]] {
+					return mobility[ready[i]] < mobility[ready[j]]
+				}
+				return ready[i].Seq < ready[j].Seq
+			})
+			progress := false
+			for _, op := range ready {
+				if lim.MaxOpsPerStep > 0 && total >= lim.MaxOpsPerStep {
+					break
+				}
+				if !fits(op, lim, usedKind, usedMem, regWrites) {
+					continue
+				}
+				place(op, step, s, scheduled, usedKind, usedMem, regWrites)
+				placed = append(placed, op)
+				total++
+				remaining--
+				progress = true
+				// Control operators end the step.
+				if op.Kind.IsControl() && op.Kind != vt.OpNop {
+					progress = false
+					ready = nil
+				}
+				break // recompute readiness: chained consumers may now fit
+			}
+			if !progress {
+				break
+			}
+		}
+		sort.Slice(placed, func(i, j int) bool { return placed[i].Seq < placed[j].Seq })
+		s.Steps = append(s.Steps, placed)
+	}
+	return s
+}
+
+// readyOps returns unscheduled operators whose dependences allow placement
+// in the given step.
+func readyOps(b *vt.Body, s *Schedule, scheduled map[*vt.Op]bool, step int) []*vt.Op {
+	var out []*vt.Op
+	for _, op := range b.Ops {
+		if scheduled[op] {
+			continue
+		}
+		ok := true
+		for _, dep := range op.Deps {
+			if !scheduled[dep] {
+				ok = false
+				break
+			}
+			min := s.OfOp[dep]
+			if StrictAfter(dep) {
+				min++
+			}
+			if min > step {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+func fits(op *vt.Op, lim Limits, usedKind map[vt.OpKind]int, usedMem map[*vt.Carrier]int, regWrites map[*vt.Carrier][]*vt.Op) bool {
+	if op.Kind.IsCompute() {
+		if cap, capped := lim.UnitsPerKind[op.Kind]; capped && cap > 0 && usedKind[op.Kind] >= cap {
+			return false
+		}
+	}
+	switch op.Kind {
+	case vt.OpMemRead, vt.OpMemWrite:
+		if usedMem[op.Carrier] >= lim.memPorts() {
+			return false
+		}
+	case vt.OpWrite:
+		if len(regWrites[op.Carrier]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func place(op *vt.Op, step int, s *Schedule, scheduled map[*vt.Op]bool, usedKind map[vt.OpKind]int, usedMem map[*vt.Carrier]int, regWrites map[*vt.Carrier][]*vt.Op) {
+	scheduled[op] = true
+	s.OfOp[op] = step
+	if op.Kind.IsCompute() {
+		usedKind[op.Kind]++
+	}
+	switch op.Kind {
+	case vt.OpMemRead, vt.OpMemWrite:
+		usedMem[op.Carrier]++
+	case vt.OpWrite:
+		regWrites[op.Carrier] = append(regWrites[op.Carrier], op)
+	}
+}
+
+// Verify checks that the schedule covers every operator exactly once and
+// respects dependences and the given limits. ASAP/ALAP schedules verify
+// with unlimited resources.
+func (s *Schedule) Verify(lim Limits) error {
+	seen := map[*vt.Op]bool{}
+	for step, ops := range s.Steps {
+		usedKind := map[vt.OpKind]int{}
+		usedMem := map[*vt.Carrier]int{}
+		regWrites := map[*vt.Carrier][]*vt.Op{}
+		for _, op := range ops {
+			if op.Body != s.Body {
+				return fmt.Errorf("sched: foreign op %s in schedule of %s", op, s.Body.Name)
+			}
+			if seen[op] {
+				return fmt.Errorf("sched: op %s scheduled twice", op)
+			}
+			seen[op] = true
+			if s.OfOp[op] != step {
+				return fmt.Errorf("sched: op %s map/step mismatch", op)
+			}
+			for _, dep := range op.Deps {
+				ds, ok := s.OfOp[dep]
+				if !ok {
+					return fmt.Errorf("sched: dependence of %s unscheduled", op)
+				}
+				if ds > step || (StrictAfter(dep) && ds >= step) {
+					return fmt.Errorf("sched: op %s at step %d violates dependence on %s at %d", op, step, dep, ds)
+				}
+			}
+			if op.Kind.IsCompute() {
+				usedKind[op.Kind]++
+				if cap, capped := lim.UnitsPerKind[op.Kind]; capped && cap > 0 && usedKind[op.Kind] > cap {
+					return fmt.Errorf("sched: step %d exceeds %s cap %d", step, op.Kind, cap)
+				}
+			}
+			switch op.Kind {
+			case vt.OpMemRead, vt.OpMemWrite:
+				usedMem[op.Carrier]++
+				if usedMem[op.Carrier] > lim.memPorts() {
+					return fmt.Errorf("sched: step %d accesses memory %s twice", step, op.Carrier.Name)
+				}
+			case vt.OpWrite:
+				if len(regWrites[op.Carrier]) > 0 {
+					return fmt.Errorf("sched: step %d writes %s twice", step, op.Carrier.Name)
+				}
+				regWrites[op.Carrier] = append(regWrites[op.Carrier], op)
+			}
+		}
+	}
+	if len(seen) != len(s.Body.Ops) {
+		return fmt.Errorf("sched: %d of %d ops scheduled", len(seen), len(s.Body.Ops))
+	}
+	return nil
+}
+
+// Program schedules every body of a trace with the same limits.
+func Program(p *vt.Program, lim Limits) map[*vt.Body]*Schedule {
+	out := make(map[*vt.Body]*Schedule, len(p.Bodies))
+	for _, b := range p.Bodies {
+		out[b] = List(b, lim)
+	}
+	return out
+}
+
+// TotalSteps sums the step counts of a program schedule.
+func TotalSteps(m map[*vt.Body]*Schedule) int {
+	n := 0
+	for _, s := range m {
+		n += s.Len()
+	}
+	return n
+}

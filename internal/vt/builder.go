@@ -1,0 +1,499 @@
+package vt
+
+import (
+	"fmt"
+
+	"repro/internal/isps"
+)
+
+// Build lowers an analyzed ISPS program to its value trace.
+//
+// Lowering decisions (documented because the synthesis rules depend on
+// them):
+//
+//   - Carrier reads are value-numbered within a body: two reads of the same
+//     register with no intervening write share one value, as in the VT.
+//   - Constants are value-numbered per body by (value, width).
+//   - Bit slices and concatenations become explicit wiring operators.
+//   - A condition wider than one bit gets an explicit nonzero TEST operator.
+//   - Writes narrower than their destination zero-extend implicitly (free
+//     wiring), matching ISPS padding semantics.
+//   - SELECT, LOOP, CALL, and LEAVE operators are sequencing barriers: they
+//     depend on every earlier operator in the body and every later operator
+//     depends on them. This mirrors the control-step semantics of the DAA,
+//     where a branch terminates the current control step.
+//   - Slice and partial-write bit ranges are normalized so bit 0 is the
+//     declared low bit of the carrier.
+func Build(src *isps.Program) (*Program, error) {
+	if src.Main == nil {
+		return nil, fmt.Errorf("vt: program %s has no entry body", src.Name)
+	}
+	b := &builder{
+		prog:     &Program{Name: src.Name, Source: src},
+		carriers: map[*isps.Decl]*Carrier{},
+		procs:    map[*isps.Proc]*Body{},
+		inflight: map[*isps.Proc]bool{},
+	}
+	for _, d := range src.Carriers() {
+		c := &Carrier{
+			ID:    len(b.prog.Carriers),
+			Name:  d.Name,
+			Width: d.Width(),
+			Words: 1,
+			Decl:  d,
+		}
+		switch d.Kind {
+		case isps.DeclReg:
+			c.Kind = CarReg
+		case isps.DeclMem:
+			c.Kind = CarMem
+			c.Words = d.Words()
+		case isps.DeclPortIn:
+			c.Kind = CarPortIn
+		case isps.DeclPortOut:
+			c.Kind = CarPortOut
+		}
+		b.prog.Carriers = append(b.prog.Carriers, c)
+		b.carriers[d] = c
+	}
+	main, err := b.bodyFor(src.Main)
+	if err != nil {
+		return nil, err
+	}
+	b.prog.Main = main
+	// Build any procedures never called, so tooling can still inspect them.
+	for _, pr := range src.Procs {
+		if _, err := b.bodyFor(pr); err != nil {
+			return nil, err
+		}
+	}
+	return b.prog, nil
+}
+
+type builder struct {
+	prog     *Program
+	carriers map[*isps.Decl]*Carrier
+	procs    map[*isps.Proc]*Body
+	inflight map[*isps.Proc]bool
+}
+
+// bodyCtx carries per-body lowering state: the read/constant value caches
+// and the hazard bookkeeping that produces dependence edges.
+type bodyCtx struct {
+	b          *builder
+	body       *Body
+	reads      map[*Carrier]*Value
+	consts     map[[2]uint64]*Value // (value, width) -> value
+	lastWrite  map[*Carrier]*Op
+	readsSince map[*Carrier][]*Op
+	barrier    *Op
+	sinceBar   []*Op
+}
+
+func (b *builder) newCtx(body *Body) *bodyCtx {
+	return &bodyCtx{
+		b:          b,
+		body:       body,
+		reads:      map[*Carrier]*Value{},
+		consts:     map[[2]uint64]*Value{},
+		lastWrite:  map[*Carrier]*Op{},
+		readsSince: map[*Carrier][]*Op{},
+	}
+}
+
+func (b *builder) bodyFor(pr *isps.Proc) (*Body, error) {
+	if body, ok := b.procs[pr]; ok {
+		return body, nil
+	}
+	if b.inflight[pr] {
+		return nil, fmt.Errorf("vt: recursive procedure %s", pr.Name)
+	}
+	b.inflight[pr] = true
+	defer delete(b.inflight, pr)
+	body := b.prog.newBody(pr.Name, BodyProc, nil)
+	b.procs[pr] = body
+	ctx := b.newCtx(body)
+	if err := ctx.lowerStmts(pr.Body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+func addDep(op, dep *Op) {
+	if dep == nil || dep == op {
+		return
+	}
+	for _, d := range op.Deps {
+		if d == dep {
+			return
+		}
+	}
+	op.Deps = append(op.Deps, dep)
+}
+
+func (c *bodyCtx) newOp(kind OpKind, pos isps.Pos) *Op {
+	op := c.b.prog.newOp(c.body, kind)
+	op.Pos = pos
+	addDep(op, c.barrier)
+	c.sinceBar = append(c.sinceBar, op)
+	return op
+}
+
+func (c *bodyCtx) use(op *Op, vals ...*Value) {
+	for _, v := range vals {
+		op.Args = append(op.Args, v)
+		v.Uses = append(v.Uses, op)
+		if v.Def != nil && v.Def.Body == op.Body {
+			addDep(op, v.Def)
+		}
+		// A consumer of a carrier-read value pins the carrier: a later
+		// write must not be scheduled before this use, or the register
+		// would change under a reader in an earlier control step.
+		if v.Carrier != nil {
+			c.readsSince[v.Carrier] = append(c.readsSince[v.Carrier], op)
+		}
+	}
+}
+
+// makeBarrier turns op into a sequencing barrier.
+func (c *bodyCtx) makeBarrier(op *Op) {
+	for _, prev := range c.sinceBar {
+		if prev != op {
+			addDep(op, prev)
+		}
+	}
+	c.barrier = op
+	c.sinceBar = nil
+	// Sub-bodies and callees may touch any carrier: flush all caches.
+	c.reads = map[*Carrier]*Value{}
+	c.lastWrite = map[*Carrier]*Op{}
+	c.readsSince = map[*Carrier][]*Op{}
+}
+
+func (c *bodyCtx) lowerStmts(stmts []isps.Stmt) error {
+	for _, s := range stmts {
+		if err := c.lowerStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *bodyCtx) subBody(suffix string, kind BodyKind, stmts []isps.Stmt) (*Body, error) {
+	body := c.b.prog.newBody(c.body.Name+"."+suffix, kind, c.body)
+	sub := c.b.newCtx(body)
+	if err := sub.lowerStmts(stmts); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+func (c *bodyCtx) lowerStmt(s isps.Stmt) error {
+	switch s := s.(type) {
+	case *isps.Assign:
+		return c.lowerAssign(s)
+	case *isps.If:
+		cond, err := c.lowerCond(s.Cond)
+		if err != nil {
+			return err
+		}
+		op := c.newOp(OpSelect, s.Pos)
+		c.use(op, cond)
+		seq := op.Seq
+		then, err := c.subBody(fmt.Sprintf("if%d.then", seq), BodyBranch, s.Then)
+		if err != nil {
+			return err
+		}
+		els, err := c.subBody(fmt.Sprintf("if%d.else", seq), BodyBranch, s.Else)
+		if err != nil {
+			return err
+		}
+		op.Branches = []*Branch{
+			{Values: []uint64{1}, Body: then},
+			{Otherwise: true, Body: els},
+		}
+		c.makeBarrier(op)
+		return nil
+	case *isps.Decode:
+		sel, err := c.lowerExpr(s.Selector)
+		if err != nil {
+			return err
+		}
+		op := c.newOp(OpSelect, s.Pos)
+		c.use(op, sel)
+		seq := op.Seq
+		for i, cs := range s.Cases {
+			arm, err := c.subBody(fmt.Sprintf("dec%d.c%d", seq, i), BodyBranch, cs.Body)
+			if err != nil {
+				return err
+			}
+			op.Branches = append(op.Branches, &Branch{Values: cs.Values, Body: arm})
+		}
+		other, err := c.subBody(fmt.Sprintf("dec%d.other", seq), BodyBranch, s.Otherwise)
+		if err != nil {
+			return err
+		}
+		op.Branches = append(op.Branches, &Branch{Otherwise: true, Body: other})
+		c.makeBarrier(op)
+		return nil
+	case *isps.While:
+		op := c.newOp(OpLoop, s.Pos)
+		op.LoopKind = LoopWhile
+		seq := op.Seq
+		condBody := c.b.prog.newBody(fmt.Sprintf("%s.loop%d.cond", c.body.Name, seq), BodyLoop, c.body)
+		condCtx := c.b.newCtx(condBody)
+		cond, err := condCtx.lowerCond(s.Cond)
+		if err != nil {
+			return err
+		}
+		op.CondBody = condBody
+		op.CondVal = cond
+		body, err := c.subBody(fmt.Sprintf("loop%d.body", seq), BodyLoop, s.Body)
+		if err != nil {
+			return err
+		}
+		op.LoopBody = body
+		c.makeBarrier(op)
+		return nil
+	case *isps.Repeat:
+		op := c.newOp(OpLoop, s.Pos)
+		op.LoopKind = LoopRepeat
+		op.Count = s.Count
+		body, err := c.subBody(fmt.Sprintf("loop%d.body", op.Seq), BodyLoop, s.Body)
+		if err != nil {
+			return err
+		}
+		op.LoopBody = body
+		c.makeBarrier(op)
+		return nil
+	case *isps.Call:
+		callee, err := c.b.bodyFor(s.Callee)
+		if err != nil {
+			return err
+		}
+		op := c.newOp(OpCall, s.Pos)
+		op.Callee = callee
+		c.makeBarrier(op)
+		return nil
+	case *isps.Leave:
+		op := c.newOp(OpLeave, s.Pos)
+		c.makeBarrier(op)
+		return nil
+	case *isps.Nop:
+		c.newOp(OpNop, s.Pos)
+		return nil
+	}
+	return fmt.Errorf("vt: unknown statement %T", s)
+}
+
+func (c *bodyCtx) lowerAssign(s *isps.Assign) error {
+	val, err := c.lowerExpr(s.RHS)
+	if err != nil {
+		return err
+	}
+	d := s.LHS.Decl
+	car := c.b.carriers[d]
+	if car == nil {
+		return fmt.Errorf("vt: %s: unresolved carrier %s", s.Pos, s.LHS.Name)
+	}
+	if car.Kind == CarMem {
+		idx, err := c.lowerExpr(s.LHS.Index)
+		if err != nil {
+			return err
+		}
+		op := c.newOp(OpMemWrite, s.Pos)
+		op.Carrier = car
+		c.use(op, idx, val)
+		c.writeHazards(op, car)
+		return nil
+	}
+	op := c.newOp(OpWrite, s.Pos)
+	op.Carrier = car
+	if s.LHS.HasSel {
+		op.Partial = true
+		op.Hi = s.LHS.Hi - d.Lo
+		op.Lo = s.LHS.Lo - d.Lo
+	}
+	c.use(op, val)
+	c.writeHazards(op, car)
+	return nil
+}
+
+func (c *bodyCtx) writeHazards(op *Op, car *Carrier) {
+	addDep(op, c.lastWrite[car])
+	for _, r := range c.readsSince[car] {
+		addDep(op, r)
+	}
+	c.lastWrite[car] = op
+	c.readsSince[car] = nil
+	delete(c.reads, car)
+}
+
+func (c *bodyCtx) readCarrier(car *Carrier, pos isps.Pos) *Value {
+	if v, ok := c.reads[car]; ok {
+		return v
+	}
+	op := c.newOp(OpRead, pos)
+	op.Carrier = car
+	addDep(op, c.lastWrite[car])
+	c.readsSince[car] = append(c.readsSince[car], op)
+	v := c.b.prog.newValue(car.Width)
+	v.Def = op
+	v.Carrier = car
+	op.Result = v
+	c.reads[car] = v
+	return v
+}
+
+func (c *bodyCtx) constValue(val uint64, width int, pos isps.Pos) *Value {
+	key := [2]uint64{val, uint64(width)}
+	if v, ok := c.consts[key]; ok {
+		return v
+	}
+	op := c.newOp(OpConst, pos)
+	v := c.b.prog.newValue(width)
+	v.Def = op
+	v.IsConst = true
+	v.ConstVal = val
+	op.Result = v
+	c.consts[key] = v
+	return v
+}
+
+// lowerCond lowers a condition and forces it to one bit with a TEST
+// operator when needed.
+func (c *bodyCtx) lowerCond(e isps.Expr) (*Value, error) {
+	v, err := c.lowerExpr(e)
+	if err != nil {
+		return nil, err
+	}
+	if v.Width == 1 {
+		return v, nil
+	}
+	op := c.newOp(OpTest, e.ExprPos())
+	c.use(op, v)
+	r := c.b.prog.newValue(1)
+	r.Def = op
+	op.Result = r
+	return r, nil
+}
+
+func (c *bodyCtx) lowerExpr(e isps.Expr) (*Value, error) {
+	switch e := e.(type) {
+	case *isps.Num:
+		w := e.Width
+		if w == 0 {
+			w = 1
+		}
+		return c.constValue(e.Value, w, e.Pos), nil
+	case *isps.Ref:
+		return c.lowerRef(e)
+	case *isps.UnOp:
+		x, err := c.lowerExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		kind := OpNot
+		if e.Op == isps.UnNeg {
+			kind = OpNeg
+		}
+		op := c.newOp(kind, e.Pos)
+		c.use(op, x)
+		r := c.b.prog.newValue(x.Width)
+		r.Def = op
+		op.Result = r
+		return r, nil
+	case *isps.BinOp:
+		return c.lowerBinOp(e)
+	}
+	return nil, fmt.Errorf("vt: unknown expression %T", e)
+}
+
+func (c *bodyCtx) lowerRef(e *isps.Ref) (*Value, error) {
+	if v, ok := c.b.prog.Source.Consts[e.Name]; ok {
+		w := e.Width
+		if w == 0 {
+			w = 1
+		}
+		return c.constValue(v, w, e.Pos), nil
+	}
+	d := e.Decl
+	car := c.b.carriers[d]
+	if car == nil {
+		return nil, fmt.Errorf("vt: %s: unresolved carrier %s", e.Pos, e.Name)
+	}
+	var v *Value
+	if car.Kind == CarMem {
+		idx, err := c.lowerExpr(e.Index)
+		if err != nil {
+			return nil, err
+		}
+		op := c.newOp(OpMemRead, e.Pos)
+		op.Carrier = car
+		addDep(op, c.lastWrite[car])
+		c.readsSince[car] = append(c.readsSince[car], op)
+		c.use(op, idx)
+		v = c.b.prog.newValue(car.Width)
+		v.Def = op
+		v.Carrier = car
+		op.Result = v
+	} else {
+		v = c.readCarrier(car, e.Pos)
+	}
+	if !e.HasSel {
+		return v, nil
+	}
+	op := c.newOp(OpSlice, e.Pos)
+	op.Hi = e.Hi - d.Lo
+	op.Lo = e.Lo - d.Lo
+	c.use(op, v)
+	r := c.b.prog.newValue(op.Hi - op.Lo + 1)
+	r.Def = op
+	op.Result = r
+	return r, nil
+}
+
+var binOpKinds = map[isps.BinOpKind]OpKind{
+	isps.OpAdd: OpAdd, isps.OpSub: OpSub,
+	isps.OpAnd: OpAnd, isps.OpOr: OpOr, isps.OpXor: OpXor,
+	isps.OpEql: OpEql, isps.OpNeq: OpNeq,
+	isps.OpLss: OpLss, isps.OpLeq: OpLeq,
+	isps.OpGtr: OpGtr, isps.OpGeq: OpGeq,
+	isps.OpSll: OpShl, isps.OpSrl: OpShr,
+	isps.OpConcat: OpConcat,
+}
+
+func (c *bodyCtx) lowerBinOp(e *isps.BinOp) (*Value, error) {
+	x, err := c.lowerExpr(e.X)
+	if err != nil {
+		return nil, err
+	}
+	y, err := c.lowerExpr(e.Y)
+	if err != nil {
+		return nil, err
+	}
+	kind, ok := binOpKinds[e.Op]
+	if !ok {
+		return nil, fmt.Errorf("vt: %s: unknown operator %s", e.Pos, e.Op)
+	}
+	op := c.newOp(kind, e.Pos)
+	c.use(op, x, y)
+	var width int
+	switch {
+	case kind == OpConcat:
+		width = x.Width + y.Width
+	case e.Op.IsCompare():
+		width = 1
+	case kind == OpShl || kind == OpShr:
+		width = x.Width
+	default:
+		width = x.Width
+		if y.Width > width {
+			width = y.Width
+		}
+	}
+	r := c.b.prog.newValue(width)
+	r.Def = op
+	op.Result = r
+	return r, nil
+}

@@ -1,0 +1,106 @@
+package vt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDot emits the trace as a Graphviz digraph: one cluster per body,
+// solid edges for dataflow, dashed edges for control structure (select
+// arms, loop bodies, calls). Intended for debugging and documentation.
+func (p *Program) WriteDot(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", p.Name)
+	for _, body := range p.Bodies {
+		fmt.Fprintf(&b, "  subgraph \"cluster_%d\" {\n    label=%q;\n", body.ID, body.Name)
+		for _, op := range body.Ops {
+			label := op.Kind.String()
+			if op.Carrier != nil {
+				label += " " + op.Carrier.Name
+			}
+			if op.Kind == OpConst {
+				label = fmt.Sprintf("#%d", op.Result.ConstVal)
+			}
+			if op.Kind == OpSlice {
+				label += fmt.Sprintf("<%d:%d>", op.Hi, op.Lo)
+			}
+			fmt.Fprintf(&b, "    n%d [label=%q];\n", op.ID, label)
+		}
+		fmt.Fprintf(&b, "  }\n")
+	}
+	for _, op := range p.AllOps() {
+		for _, a := range op.Args {
+			if a.Def != nil {
+				fmt.Fprintf(&b, "  n%d -> n%d;\n", a.Def.ID, op.ID)
+			}
+		}
+		for _, br := range op.Branches {
+			if len(br.Body.Ops) > 0 {
+				fmt.Fprintf(&b, "  n%d -> n%d [style=dashed, label=%q];\n",
+					op.ID, br.Body.Ops[0].ID, branchLabel(br))
+			}
+		}
+		if op.LoopBody != nil && len(op.LoopBody.Ops) > 0 {
+			fmt.Fprintf(&b, "  n%d -> n%d [style=dashed, label=\"loop\"];\n", op.ID, op.LoopBody.Ops[0].ID)
+		}
+		if op.CondBody != nil && len(op.CondBody.Ops) > 0 {
+			fmt.Fprintf(&b, "  n%d -> n%d [style=dashed, label=\"cond\"];\n", op.ID, op.CondBody.Ops[0].ID)
+		}
+		if op.Callee != nil && len(op.Callee.Ops) > 0 {
+			fmt.Fprintf(&b, "  n%d -> n%d [style=dashed, label=\"call\"];\n", op.ID, op.Callee.Ops[0].ID)
+		}
+	}
+	fmt.Fprintf(&b, "}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func branchLabel(br *Branch) string {
+	if br.Otherwise {
+		return "otherwise"
+	}
+	parts := make([]string, len(br.Values))
+	for i, v := range br.Values {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Dump renders the trace as indented text, one line per operator. It is the
+// human-readable companion to WriteDot used by cmd/vtdump and tests.
+func (p *Program) Dump(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "value trace %s: %s\n", p.Name, p.Stats())
+	for _, c := range p.Carriers {
+		fmt.Fprintf(&b, "  carrier %s %s\n", c.Kind, c)
+	}
+	for _, body := range p.Bodies {
+		if body.Kind != BodyProc {
+			continue
+		}
+		p.dumpBody(&b, body, 1)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (p *Program) dumpBody(b *strings.Builder, body *Body, depth int) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%s%s:\n", indent, body.Name)
+	for _, op := range body.Ops {
+		fmt.Fprintf(b, "%s  %s\n", indent, op)
+		for _, br := range op.Branches {
+			fmt.Fprintf(b, "%s  [%s]\n", indent, branchLabel(br))
+			p.dumpBody(b, br.Body, depth+2)
+		}
+		if op.CondBody != nil {
+			fmt.Fprintf(b, "%s  [while]\n", indent)
+			p.dumpBody(b, op.CondBody, depth+2)
+		}
+		if op.LoopBody != nil {
+			fmt.Fprintf(b, "%s  [do]\n", indent)
+			p.dumpBody(b, op.LoopBody, depth+2)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package vt
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/isps"
+)
+
+func build2(t *testing.T, decls, body string) *Program {
+	t.Helper()
+	src := fmt.Sprintf("processor T {\n%s\nmain m {\n%s\n}\n}", decls, body)
+	prog, err := isps.Parse("t", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	tr, err := Build(prog)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return tr
+}
+
+func find(t *testing.T, p *Program, k OpKind) *Op {
+	t.Helper()
+	for _, op := range p.AllOps() {
+		if op.Kind == k {
+			return op
+		}
+	}
+	t.Fatalf("no %s op", k)
+	return nil
+}
+
+func TestBecomeTestRewrites(t *testing.T) {
+	p := build2(t, "reg A<7:0> reg Z", "Z := A neq 0")
+	neq := find(t, p, OpNeq)
+	if err := BecomeTest(neq); err != nil {
+		t.Fatal(err)
+	}
+	if neq.Kind != OpTest || len(neq.Args) != 1 {
+		t.Fatalf("after BecomeTest: %s", neq)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("trace invalid after rewrite: %v", err)
+	}
+}
+
+func TestBecomeTestRejectsNonZero(t *testing.T) {
+	p := build2(t, "reg A<7:0> reg Z", "Z := A neq 3")
+	if err := BecomeTest(find(t, p, OpNeq)); err == nil {
+		t.Fatal("expected rejection without a zero argument")
+	}
+}
+
+func TestBecomeNotRewrites(t *testing.T) {
+	p := build2(t, "reg P<1:0> reg A<7:0>", "if P<0:0> eql 0 { A := 1 }")
+	eql := find(t, p, OpEql)
+	if err := BecomeNot(eql); err != nil {
+		t.Fatal(err)
+	}
+	if eql.Kind != OpNot || len(eql.Args) != 1 {
+		t.Fatalf("after BecomeNot: %s", eql)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("trace invalid after rewrite: %v", err)
+	}
+}
+
+func TestBecomeNotRejectsWide(t *testing.T) {
+	p := build2(t, "reg A<7:0> reg Z", "Z := A eql 0")
+	if err := BecomeNot(find(t, p, OpEql)); err == nil {
+		t.Fatal("expected rejection on wide operand")
+	}
+}
+
+func TestReplaceUsesAndRemove(t *testing.T) {
+	// B := (A + 0); replace the add's result with A's read, delete the add.
+	p := build2(t, "reg A<7:0> reg B<7:0>", "B := A + 0")
+	add := find(t, p, OpAdd)
+	read := find(t, p, OpRead)
+	if err := ReplaceUses(p, add.Result, read.Result); err != nil {
+		t.Fatal(err)
+	}
+	if len(add.Result.Uses) != 0 {
+		t.Fatalf("add result still used: %v", add.Result.Uses)
+	}
+	write := find(t, p, OpWrite)
+	if write.Args[0] != read.Result {
+		t.Fatal("write not repointed at the read")
+	}
+	if err := RemoveOp(p, add); err != nil {
+		t.Fatal(err)
+	}
+	// The now-dead constant can go too.
+	konst := find(t, p, OpConst)
+	if err := RemoveOp(p, konst); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("trace invalid after removal: %v", err)
+	}
+	if got := len(p.Main.Ops); got != 2 {
+		t.Fatalf("ops %d, want 2 (read, write)", got)
+	}
+}
+
+func TestRemoveOpRefusesUsed(t *testing.T) {
+	p := build2(t, "reg A<7:0> reg B<7:0>", "B := A + 1")
+	if err := RemoveOp(p, find(t, p, OpAdd)); err == nil {
+		t.Fatal("expected refusal: result is used")
+	}
+}
+
+func TestRemoveOpRefusesImpure(t *testing.T) {
+	p := build2(t, "reg A<7:0>", "A := 1")
+	if err := RemoveOp(p, find(t, p, OpWrite)); err == nil {
+		t.Fatal("expected refusal: write is impure")
+	}
+}
+
+func TestRemoveOpRefusesLoopCondition(t *testing.T) {
+	p := build2(t, "reg A<7:0>", "while A gtr 0 { A := A - 1 }")
+	gtr := find(t, p, OpGtr)
+	// The compare's result is the loop condition even though Uses is empty.
+	if err := RemoveOp(p, gtr); err == nil {
+		t.Fatal("expected refusal: value feeds the loop controller")
+	}
+}
+
+func TestRemoveOpRenumbersAndFixesDeps(t *testing.T) {
+	p := build2(t, "reg A<7:0> reg B<7:0>", "B := (A + 0) and A\nA := 3")
+	add := find(t, p, OpAdd)
+	read := find(t, p, OpRead)
+	if err := ReplaceUses(p, add.Result, read.Result); err != nil {
+		t.Fatal(err)
+	}
+	if err := RemoveOp(p, add); err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range p.Main.Ops {
+		if op.Seq != i {
+			t.Fatalf("op %s has seq %d at index %d", op, op.Seq, i)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("invalid after removal: %v", err)
+	}
+}
+
+func TestDetachArgKeepsHazards(t *testing.T) {
+	// The write's WAR dependence on the read must survive a detach on an
+	// unrelated op.
+	p := build2(t, "reg A<7:0> reg B<7:0>", "B := A + 0\nA := 1")
+	add := find(t, p, OpAdd)
+	DetachArg(add, 1)
+	if len(add.Args) != 1 {
+		t.Fatal("detach failed")
+	}
+	var writeA *Op
+	for _, op := range p.AllOps() {
+		if op.Kind == OpWrite && op.Carrier.Name == "A" {
+			writeA = op
+		}
+	}
+	found := false
+	for _, d := range writeA.Deps {
+		if d.Kind == OpRead {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("WAR hazard edge lost")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := build2(t, "reg A<7:0> reg Z", `
+        while A neq 0 { A := A - 1 }
+        if Z { A := 7 } else { nop }`)
+	c := Clone(p)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	if c.OpCount() != p.OpCount() || len(c.Bodies) != len(p.Bodies) {
+		t.Fatalf("clone shape differs: %d/%d ops, %d/%d bodies",
+			c.OpCount(), p.OpCount(), len(c.Bodies), len(p.Bodies))
+	}
+	// Mutating the clone must not touch the original.
+	neq := find(t, c, OpNeq)
+	if err := BecomeTest(neq); err != nil {
+		t.Fatal(err)
+	}
+	origNeq := 0
+	for _, op := range p.AllOps() {
+		if op.Kind == OpNeq {
+			origNeq++
+		}
+	}
+	if origNeq != 1 {
+		t.Fatalf("original lost its neq op (aliasing): %d", origNeq)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("original invalid after clone mutation: %v", err)
+	}
+	// No shared pointers between the traces.
+	for _, op := range c.AllOps() {
+		for _, orig := range p.AllOps() {
+			if op == orig {
+				t.Fatal("clone shares an op pointer with the original")
+			}
+		}
+	}
+}
+
+func TestCloneSynthesizesIdentically(t *testing.T) {
+	p := build2(t, "reg A<7:0> reg B<7:0>", "A := A + B\nB := A - 1")
+	c := Clone(p)
+	s1, s2 := p.Stats(), c.Stats()
+	if s1 != s2 {
+		t.Fatalf("stats differ: %v vs %v", s1, s2)
+	}
+}

@@ -1,0 +1,280 @@
+package vt
+
+import "fmt"
+
+// Validate checks the structural invariants of the trace that the synthesis
+// rules in internal/core rely on. It returns the first violation found.
+//
+// Invariants:
+//
+//   - body/op linkage is consistent and Seq matches position
+//   - dependence edges stay within one body and point strictly backwards
+//     (the trace is acyclic by construction)
+//   - every argument value is defined in the same body before its use, and
+//     the use is recorded on the value
+//   - operators have results exactly when their kind produces a value, with
+//     kind-consistent widths (compares and TEST are 1 bit, slices match
+//     their bounds, concats sum their arguments)
+//   - storage operators respect carrier kinds and widths
+//   - every SELECT has exactly one otherwise arm, in final position
+//   - every sub-body is referenced by exactly one structural operator and
+//     its Parent is that operator's body
+func (p *Program) Validate() error {
+	refs := map[*Body]int{}
+	for _, body := range p.Bodies {
+		for i, op := range body.Ops {
+			if op.Body != body {
+				return fmt.Errorf("op %d: body link broken", op.ID)
+			}
+			if op.Seq != i {
+				return fmt.Errorf("op %d in %s: seq %d at position %d", op.ID, body.Name, op.Seq, i)
+			}
+			if err := p.validateOp(op, refs); err != nil {
+				return err
+			}
+		}
+	}
+	for _, body := range p.Bodies {
+		if body.Kind == BodyProc {
+			if body.Parent != nil {
+				return fmt.Errorf("procedure body %s has a parent", body.Name)
+			}
+			continue
+		}
+		if refs[body] != 1 {
+			return fmt.Errorf("sub-body %s referenced %d times, want 1", body.Name, refs[body])
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateOp(op *Op, refs map[*Body]int) error {
+	for _, d := range op.Deps {
+		if d.Body != op.Body {
+			return fmt.Errorf("op %d: dependence crosses bodies (%s -> %s)", op.ID, op.Body.Name, d.Body.Name)
+		}
+		if d.Seq >= op.Seq {
+			return fmt.Errorf("op %d: dependence on op %d does not point backwards", op.ID, d.ID)
+		}
+	}
+	for _, a := range op.Args {
+		if a == nil {
+			return fmt.Errorf("op %d: nil argument", op.ID)
+		}
+		if a.Width <= 0 {
+			return fmt.Errorf("op %d: argument %s has width %d", op.ID, a, a.Width)
+		}
+		if a.Def == nil {
+			return fmt.Errorf("op %d: argument %s has no defining op", op.ID, a)
+		}
+		if a.Def.Body != op.Body {
+			return fmt.Errorf("op %d: argument %s defined in body %s, used in %s", op.ID, a, a.Def.Body.Name, op.Body.Name)
+		}
+		if a.Def.Seq >= op.Seq {
+			return fmt.Errorf("op %d: argument %s used before definition", op.ID, a)
+		}
+		found := false
+		for _, u := range a.Uses {
+			if u == op {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("op %d: use of %s not recorded on the value", op.ID, a)
+		}
+	}
+	if wantsResult(op.Kind) != (op.Result != nil) {
+		return fmt.Errorf("op %d (%s): result presence mismatch", op.ID, op.Kind)
+	}
+	if op.Result != nil {
+		if op.Result.Def != op {
+			return fmt.Errorf("op %d: result def link broken", op.ID)
+		}
+		if op.Result.Width <= 0 {
+			return fmt.Errorf("op %d: result width %d", op.ID, op.Result.Width)
+		}
+	}
+	return p.validateKind(op, refs)
+}
+
+func wantsResult(k OpKind) bool {
+	switch k {
+	case OpWrite, OpMemWrite, OpSelect, OpLoop, OpCall, OpLeave, OpNop:
+		return false
+	}
+	return true
+}
+
+func (p *Program) validateKind(op *Op, refs map[*Body]int) error {
+	nargs := func(n int) error {
+		if len(op.Args) != n {
+			return fmt.Errorf("op %d (%s): %d args, want %d", op.ID, op.Kind, len(op.Args), n)
+		}
+		return nil
+	}
+	switch op.Kind {
+	case OpConst:
+		if err := nargs(0); err != nil {
+			return err
+		}
+		if !op.Result.IsConst {
+			return fmt.Errorf("op %d: const result not marked const", op.ID)
+		}
+	case OpRead:
+		if err := nargs(0); err != nil {
+			return err
+		}
+		if op.Carrier == nil || op.Carrier.Kind == CarMem || op.Carrier.Kind == CarPortOut {
+			return fmt.Errorf("op %d: read from invalid carrier %v", op.ID, op.Carrier)
+		}
+		if op.Result.Width != op.Carrier.Width {
+			return fmt.Errorf("op %d: read width %d from %s", op.ID, op.Result.Width, op.Carrier)
+		}
+	case OpWrite:
+		if err := nargs(1); err != nil {
+			return err
+		}
+		if op.Carrier == nil || op.Carrier.Kind == CarMem || op.Carrier.Kind == CarPortIn {
+			return fmt.Errorf("op %d: write to invalid carrier %v", op.ID, op.Carrier)
+		}
+		width := op.Carrier.Width
+		if op.Partial {
+			if op.Lo < 0 || op.Hi >= op.Carrier.Width || op.Lo > op.Hi {
+				return fmt.Errorf("op %d: partial write <%d:%d> outside %s", op.ID, op.Hi, op.Lo, op.Carrier)
+			}
+			width = op.Hi - op.Lo + 1
+		}
+		if op.Args[0].Width > width {
+			return fmt.Errorf("op %d: write of %d bits into %d-bit field of %s", op.ID, op.Args[0].Width, width, op.Carrier)
+		}
+	case OpMemRead:
+		if err := nargs(1); err != nil {
+			return err
+		}
+		if op.Carrier == nil || op.Carrier.Kind != CarMem {
+			return fmt.Errorf("op %d: memread from non-memory", op.ID)
+		}
+		if op.Result.Width != op.Carrier.Width {
+			return fmt.Errorf("op %d: memread width mismatch", op.ID)
+		}
+	case OpMemWrite:
+		if err := nargs(2); err != nil {
+			return err
+		}
+		if op.Carrier == nil || op.Carrier.Kind != CarMem {
+			return fmt.Errorf("op %d: memwrite to non-memory", op.ID)
+		}
+		if op.Args[1].Width > op.Carrier.Width {
+			return fmt.Errorf("op %d: memwrite width mismatch", op.ID)
+		}
+	case OpNot, OpNeg:
+		if err := nargs(1); err != nil {
+			return err
+		}
+		if op.Result.Width != op.Args[0].Width {
+			return fmt.Errorf("op %d (%s): width mismatch", op.ID, op.Kind)
+		}
+	case OpTest:
+		if err := nargs(1); err != nil {
+			return err
+		}
+		if op.Result.Width != 1 {
+			return fmt.Errorf("op %d: test result width %d", op.ID, op.Result.Width)
+		}
+	case OpEql, OpNeq, OpLss, OpLeq, OpGtr, OpGeq:
+		if err := nargs(2); err != nil {
+			return err
+		}
+		if op.Result.Width != 1 {
+			return fmt.Errorf("op %d (%s): compare result width %d", op.ID, op.Kind, op.Result.Width)
+		}
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor:
+		if err := nargs(2); err != nil {
+			return err
+		}
+		max := op.Args[0].Width
+		if op.Args[1].Width > max {
+			max = op.Args[1].Width
+		}
+		if op.Result.Width != max {
+			return fmt.Errorf("op %d (%s): result width %d, want %d", op.ID, op.Kind, op.Result.Width, max)
+		}
+	case OpShl, OpShr:
+		if err := nargs(2); err != nil {
+			return err
+		}
+		if op.Result.Width != op.Args[0].Width {
+			return fmt.Errorf("op %d (%s): shift width mismatch", op.ID, op.Kind)
+		}
+	case OpConcat:
+		if err := nargs(2); err != nil {
+			return err
+		}
+		if op.Result.Width != op.Args[0].Width+op.Args[1].Width {
+			return fmt.Errorf("op %d: concat width mismatch", op.ID)
+		}
+	case OpSlice:
+		if err := nargs(1); err != nil {
+			return err
+		}
+		if op.Lo < 0 || op.Hi >= op.Args[0].Width || op.Lo > op.Hi {
+			return fmt.Errorf("op %d: slice <%d:%d> outside %d-bit value", op.ID, op.Hi, op.Lo, op.Args[0].Width)
+		}
+		if op.Result.Width != op.Hi-op.Lo+1 {
+			return fmt.Errorf("op %d: slice result width mismatch", op.ID)
+		}
+	case OpSelect:
+		if err := nargs(1); err != nil {
+			return err
+		}
+		if len(op.Branches) == 0 {
+			return fmt.Errorf("op %d: select with no branches", op.ID)
+		}
+		for i, br := range op.Branches {
+			if br.Otherwise != (i == len(op.Branches)-1) {
+				return fmt.Errorf("op %d: otherwise arm must be exactly the last branch", op.ID)
+			}
+			if br.Body == nil || br.Body.Kind != BodyBranch || br.Body.Parent != op.Body {
+				return fmt.Errorf("op %d: branch %d body malformed", op.ID, i)
+			}
+			refs[br.Body]++
+		}
+	case OpLoop:
+		if err := nargs(0); err != nil {
+			return err
+		}
+		if op.LoopBody == nil || op.LoopBody.Kind != BodyLoop || op.LoopBody.Parent != op.Body {
+			return fmt.Errorf("op %d: loop body malformed", op.ID)
+		}
+		refs[op.LoopBody]++
+		switch op.LoopKind {
+		case LoopWhile:
+			if op.CondBody == nil || op.CondBody.Kind != BodyLoop || op.CondBody.Parent != op.Body {
+				return fmt.Errorf("op %d: loop condition body malformed", op.ID)
+			}
+			refs[op.CondBody]++
+			if op.CondVal == nil || op.CondVal.Width != 1 {
+				return fmt.Errorf("op %d: loop condition not a 1-bit value", op.ID)
+			}
+			if op.CondVal.Def == nil || op.CondVal.Def.Body != op.CondBody {
+				return fmt.Errorf("op %d: loop condition defined outside the condition body", op.ID)
+			}
+		case LoopRepeat:
+			if op.Count < 1 {
+				return fmt.Errorf("op %d: repeat count %d", op.ID, op.Count)
+			}
+		}
+	case OpCall:
+		if op.Callee == nil || op.Callee.Kind != BodyProc {
+			return fmt.Errorf("op %d: call without a procedure body", op.ID)
+		}
+	case OpLeave, OpNop:
+		if err := nargs(0); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("op %d: unknown kind %v", op.ID, op.Kind)
+	}
+	return nil
+}

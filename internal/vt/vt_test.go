@@ -1,0 +1,393 @@
+package vt
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isps"
+)
+
+func build(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := isps.Parse("t", src)
+	if err != nil {
+		t.Fatalf("isps.Parse: %v", err)
+	}
+	trace, err := Build(prog)
+	if err != nil {
+		t.Fatalf("vt.Build: %v", err)
+	}
+	if err := trace.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return trace
+}
+
+func wrap(decls, body string) string {
+	return fmt.Sprintf("processor T {\n%s\nmain m {\n%s\n}\n}", decls, body)
+}
+
+func countKind(p *Program, k OpKind) int {
+	n := 0
+	for _, op := range p.AllOps() {
+		if op.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestBuildSimpleTransfer(t *testing.T) {
+	p := build(t, wrap("reg A<7:0> reg B<7:0>", "A := B + 1"))
+	if got := countKind(p, OpRead); got != 1 {
+		t.Errorf("reads %d, want 1", got)
+	}
+	if got := countKind(p, OpAdd); got != 1 {
+		t.Errorf("adds %d, want 1", got)
+	}
+	if got := countKind(p, OpWrite); got != 1 {
+		t.Errorf("writes %d, want 1", got)
+	}
+	if got := countKind(p, OpConst); got != 1 {
+		t.Errorf("consts %d, want 1", got)
+	}
+}
+
+func TestReadValueNumbering(t *testing.T) {
+	// Three reads of A with no intervening write share one READ op.
+	p := build(t, wrap("reg A<7:0> reg B<7:0> reg C<7:0>",
+		"B := A + A\nC := A"))
+	if got := countKind(p, OpRead); got != 1 {
+		t.Errorf("reads %d, want 1 (value numbering)", got)
+	}
+}
+
+func TestReadCacheInvalidatedByWrite(t *testing.T) {
+	p := build(t, wrap("reg A<7:0> reg B<7:0>",
+		"B := A\nA := 0\nB := A"))
+	if got := countKind(p, OpRead); got != 2 {
+		t.Errorf("reads %d, want 2 (write invalidates cache)", got)
+	}
+}
+
+func TestConstValueNumbering(t *testing.T) {
+	p := build(t, wrap("reg A<7:0> reg B<7:0>",
+		"A := A + 1\nB := B + 1"))
+	if got := countKind(p, OpConst); got != 1 {
+		t.Errorf("consts %d, want 1 (same value and width)", got)
+	}
+}
+
+func TestConstDifferentWidthsDistinct(t *testing.T) {
+	p := build(t, wrap("reg A<7:0> reg B<3:0>",
+		"A := A + 1\nB := B + 1"))
+	if got := countKind(p, OpConst); got != 2 {
+		t.Errorf("consts %d, want 2 (widths 8 and 4)", got)
+	}
+}
+
+func TestWriteHazardDependence(t *testing.T) {
+	p := build(t, wrap("reg A<7:0> reg B<7:0>", "B := A\nA := 0"))
+	var write *Op
+	for _, op := range p.Main.Ops {
+		if op.Kind == OpWrite && op.Carrier.Name == "A" {
+			write = op
+		}
+	}
+	if write == nil {
+		t.Fatal("no write to A")
+	}
+	// The write to A must depend on the earlier read of A (WAR).
+	found := false
+	for _, d := range write.Deps {
+		if d.Kind == OpRead && d.Carrier.Name == "A" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("write to A lacks WAR dependence; deps: %v", write.Deps)
+	}
+}
+
+func TestSelectFromIf(t *testing.T) {
+	p := build(t, wrap("reg A<7:0> reg Z", "if A eql 0 { Z := 1 }"))
+	sel := findKind(t, p, OpSelect)
+	if len(sel.Branches) != 2 {
+		t.Fatalf("branches %d, want 2 (then + implicit otherwise)", len(sel.Branches))
+	}
+	if !sel.Branches[1].Otherwise {
+		t.Error("second branch should be otherwise")
+	}
+	if len(sel.Branches[1].Body.Ops) != 0 {
+		t.Error("implicit otherwise should be empty")
+	}
+	if sel.Args[0].Width != 1 {
+		t.Errorf("selector width %d, want 1", sel.Args[0].Width)
+	}
+}
+
+func TestWideConditionGetsTest(t *testing.T) {
+	p := build(t, wrap("reg A<7:0> reg Z", "if A { Z := 1 }"))
+	if got := countKind(p, OpTest); got != 1 {
+		t.Errorf("tests %d, want 1 (wide condition)", got)
+	}
+}
+
+func TestOneBitConditionNoTest(t *testing.T) {
+	p := build(t, wrap("reg A<7:0> reg Z", "if A eql 3 { Z := 1 }"))
+	if got := countKind(p, OpTest); got != 0 {
+		t.Errorf("tests %d, want 0 (compare is already 1 bit)", got)
+	}
+}
+
+func TestDecodeBranches(t *testing.T) {
+	p := build(t, wrap("reg A<1:0> reg B<7:0>", `
+        decode A {
+            0: B := 1
+            1, 2: B := 2
+            otherwise: B := 3
+        }`))
+	sel := findKind(t, p, OpSelect)
+	if len(sel.Branches) != 3 {
+		t.Fatalf("branches %d, want 3", len(sel.Branches))
+	}
+	if got := sel.Branches[1].Values; len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("branch 1 values %v, want [1 2]", got)
+	}
+	if !sel.Branches[2].Otherwise {
+		t.Error("last branch should be otherwise")
+	}
+}
+
+func TestDecodeImplicitOtherwise(t *testing.T) {
+	p := build(t, wrap("reg A<1:0> reg B<7:0>", "decode A { 0: B := 1 }"))
+	sel := findKind(t, p, OpSelect)
+	if len(sel.Branches) != 2 || !sel.Branches[1].Otherwise {
+		t.Fatalf("want implicit otherwise branch, got %d branches", len(sel.Branches))
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	p := build(t, wrap("reg A<7:0>", "while A neq 0 { A := A - 1 }"))
+	loop := findKind(t, p, OpLoop)
+	if loop.LoopKind != LoopWhile {
+		t.Fatal("want while loop")
+	}
+	if loop.CondBody == nil || loop.CondVal == nil || loop.CondVal.Width != 1 {
+		t.Fatalf("condition malformed: body=%v val=%v", loop.CondBody, loop.CondVal)
+	}
+	if loop.LoopBody == nil || len(loop.LoopBody.Ops) == 0 {
+		t.Fatal("loop body empty")
+	}
+}
+
+func TestRepeatLoop(t *testing.T) {
+	p := build(t, wrap("reg A<7:0>", "repeat 4 { A := A sll 1 }"))
+	loop := findKind(t, p, OpLoop)
+	if loop.LoopKind != LoopRepeat || loop.Count != 4 {
+		t.Fatalf("got kind=%v count=%d", loop.LoopKind, loop.Count)
+	}
+	if loop.CondBody != nil {
+		t.Error("repeat loop should have no condition body")
+	}
+}
+
+func TestCallSharesBody(t *testing.T) {
+	p := build(t, `
+processor P {
+    reg A<7:0>
+    proc inc { A := A + 1 }
+    main m { call inc call inc }
+}`)
+	var callees []*Body
+	for _, op := range p.Main.Ops {
+		if op.Kind == OpCall {
+			callees = append(callees, op.Callee)
+		}
+	}
+	if len(callees) != 2 {
+		t.Fatalf("calls %d, want 2", len(callees))
+	}
+	if callees[0] != callees[1] {
+		t.Error("both calls should reference the same shared body")
+	}
+	// The callee's ops exist exactly once.
+	if got := countKind(p, OpAdd); got != 1 {
+		t.Errorf("adds %d, want 1 (body shared)", got)
+	}
+}
+
+func TestMemoryAccess(t *testing.T) {
+	p := build(t, wrap("mem M[0:15]<7:0> reg A<7:0> reg P<3:0>",
+		"A := M[P]\nM[P] := A + 1"))
+	if got := countKind(p, OpMemRead); got != 1 {
+		t.Errorf("memreads %d, want 1", got)
+	}
+	if got := countKind(p, OpMemWrite); got != 1 {
+		t.Errorf("memwrites %d, want 1", got)
+	}
+	mw := findKind(t, p, OpMemWrite)
+	if len(mw.Args) != 2 {
+		t.Fatalf("memwrite args %d, want 2 (index, data)", len(mw.Args))
+	}
+}
+
+func TestSliceNormalization(t *testing.T) {
+	// Carrier declared <15:8>: slice <11:8> must normalize to bits 3..0.
+	p := build(t, wrap("reg H<15:8> reg B<3:0>", "B := H<11:8>"))
+	sl := findKind(t, p, OpSlice)
+	if sl.Hi != 3 || sl.Lo != 0 {
+		t.Errorf("normalized slice <%d:%d>, want <3:0>", sl.Hi, sl.Lo)
+	}
+}
+
+func TestPartialWriteNormalization(t *testing.T) {
+	p := build(t, wrap("reg H<15:8> reg B<3:0>", "H<15:12> := B"))
+	w := findKind(t, p, OpWrite)
+	if !w.Partial || w.Hi != 7 || w.Lo != 4 {
+		t.Errorf("partial write <%d:%d> partial=%v, want <7:4>", w.Hi, w.Lo, w.Partial)
+	}
+}
+
+func TestBarrierSequencing(t *testing.T) {
+	p := build(t, wrap("reg A<7:0> reg Z",
+		"A := 1\nif Z { A := 2 }\nA := 3"))
+	sel := findKind(t, p, OpSelect)
+	// Every op after the select depends on it.
+	for _, op := range p.Main.Ops {
+		if op.Seq > sel.Seq {
+			found := false
+			for _, d := range op.Deps {
+				if d == sel {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("op %s after select lacks barrier dependence", op)
+			}
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	p := build(t, wrap("reg A<7:0> reg Z", "A := A + 1\nif Z { A := 0 }"))
+	s := p.Stats()
+	if s.Ops != p.OpCount() {
+		t.Errorf("stats ops %d != OpCount %d", s.Ops, s.Ops)
+	}
+	if s.Compute < 1 || s.Storage < 2 || s.Control < 1 || s.Consts < 1 {
+		t.Errorf("implausible stats: %v", s)
+	}
+}
+
+func TestCarrierLookup(t *testing.T) {
+	p := build(t, wrap("reg A<7:0> mem M[0:3]<3:0>", "A := 1\nM[0] := 2"))
+	a := p.CarrierByName("A")
+	if a == nil || a.Kind != CarReg || a.Width != 8 {
+		t.Fatalf("A: %v", a)
+	}
+	m := p.CarrierByName("M")
+	if m == nil || m.Kind != CarMem || m.Words != 4 {
+		t.Fatalf("M: %v", m)
+	}
+	if p.CarrierByName("nope") != nil {
+		t.Error("lookup of missing carrier should be nil")
+	}
+}
+
+func TestDumpAndDot(t *testing.T) {
+	p := build(t, wrap("reg A<7:0> reg Z", "if Z { A := A + 1 } else { A := 0 }"))
+	var dump, dot strings.Builder
+	if err := p.Dump(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteDot(&dot); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"value trace", "select", "add"} {
+		if !strings.Contains(dump.String(), want) {
+			t.Errorf("dump missing %q", want)
+		}
+	}
+	if !strings.Contains(dot.String(), "digraph") || !strings.Contains(dot.String(), "cluster") {
+		t.Error("dot output malformed")
+	}
+}
+
+func findKind(t *testing.T, p *Program, k OpKind) *Op {
+	t.Helper()
+	for _, op := range p.AllOps() {
+		if op.Kind == k {
+			return op
+		}
+	}
+	t.Fatalf("no %s op in trace", k)
+	return nil
+}
+
+// Property: for any straight-line program over random registers, the trace
+// validates and every dependence points strictly backwards.
+func TestBuildGeneratedProgramsValidate(t *testing.T) {
+	ops := []string{"+", "-", "and", "or", "xor"}
+	f := func(n uint8, seed uint32) bool {
+		regs := int(n%5) + 2
+		stmts := int(seed%20) + 1
+		var decls, body strings.Builder
+		for i := 0; i < regs; i++ {
+			fmt.Fprintf(&decls, "reg R%d<7:0>\n", i)
+		}
+		s := seed
+		for i := 0; i < stmts; i++ {
+			s = s*1664525 + 1013904223
+			dst := int(s>>8) % regs
+			a := int(s>>16) % regs
+			bsel := int(s>>24) % regs
+			op := ops[int(s)%len(ops)]
+			fmt.Fprintf(&body, "R%d := R%d %s R%d\n", dst, a, op, bsel)
+		}
+		prog, err := isps.Parse("t", wrap(decls.String(), body.String()))
+		if err != nil {
+			return false
+		}
+		trace, err := Build(prog)
+		if err != nil {
+			return false
+		}
+		return trace.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: nested control structures of arbitrary depth validate.
+func TestBuildNestedControlValidates(t *testing.T) {
+	f := func(depth uint8) bool {
+		d := int(depth%6) + 1
+		body := "A := A + 1"
+		for i := 0; i < d; i++ {
+			switch i % 3 {
+			case 0:
+				body = fmt.Sprintf("if A eql %d { %s }", i, body)
+			case 1:
+				body = fmt.Sprintf("decode A<1:0> { 0: { %s } otherwise: nop }", body)
+			case 2:
+				body = fmt.Sprintf("repeat 2 { %s }", body)
+			}
+		}
+		prog, err := isps.Parse("t", wrap("reg A<7:0>", body))
+		if err != nil {
+			return false
+		}
+		trace, err := Build(prog)
+		if err != nil {
+			return false
+		}
+		return trace.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
