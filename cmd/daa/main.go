@@ -12,11 +12,14 @@
 //	daa -bench gcd -verilog             emit the datapath as Verilog
 //	daa -bench gcd -flow                emit the controller graph as DOT
 //	daa -bench gcd -no-cleanup          skip the global-improvement phase
+//	daa -bench gcd -engine-stats        print the production-engine metrics
+//	daa -bench gcd -exhaustive          disable incremental matching
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -29,63 +32,84 @@ import (
 	"repro/internal/vt"
 )
 
+// options collects the command-line configuration of one daa invocation.
+type options struct {
+	inFile      string
+	benchName   string
+	list        bool
+	allocator   string
+	trace       bool
+	noCleanup   bool
+	stats       bool
+	engineStats bool
+	exhaustive  bool
+	control     bool
+	verilog     bool
+	flow        bool
+}
+
 func main() {
-	var (
-		inFile    = flag.String("in", "", "ISPS source file to synthesize")
-		benchName = flag.String("bench", "", "embedded benchmark to synthesize (see -list)")
-		list      = flag.Bool("list", false, "list embedded benchmarks and exit")
-		allocator = flag.String("allocator", "daa", "allocator: daa, leftedge, or naive")
-		traceRun  = flag.Bool("trace", false, "print every rule firing (daa only)")
-		noCleanup = flag.Bool("no-cleanup", false, "skip the global-improvement phase (daa only)")
-		stats     = flag.Bool("stats", true, "print synthesis statistics (daa only)")
-		control   = flag.Bool("control", false, "print the derived control-signal table")
-		verilog   = flag.Bool("verilog", false, "emit the datapath as structural Verilog and exit")
-		flow      = flag.Bool("flow", false, "emit the controller state graph as Graphviz and exit")
-	)
+	var o options
+	flag.StringVar(&o.inFile, "in", "", "ISPS source file to synthesize")
+	flag.StringVar(&o.benchName, "bench", "", "embedded benchmark to synthesize (see -list)")
+	flag.BoolVar(&o.list, "list", false, "list embedded benchmarks and exit")
+	flag.StringVar(&o.allocator, "allocator", "daa", "allocator: daa, leftedge, or naive")
+	flag.BoolVar(&o.trace, "trace", false, "print every rule firing (daa only)")
+	flag.BoolVar(&o.noCleanup, "no-cleanup", false, "skip the global-improvement phase (daa only)")
+	flag.BoolVar(&o.stats, "stats", true, "print synthesis statistics (daa only)")
+	flag.BoolVar(&o.engineStats, "engine-stats", false, "print production-engine metrics: per-rule match cost, conflict-set statistics (daa only)")
+	flag.BoolVar(&o.exhaustive, "exhaustive", false, "disable incremental conflict-set maintenance (daa only; for comparison)")
+	flag.BoolVar(&o.control, "control", false, "print the derived control-signal table")
+	flag.BoolVar(&o.verilog, "verilog", false, "emit the datapath as structural Verilog and exit")
+	flag.BoolVar(&o.flow, "flow", false, "emit the controller state graph as Graphviz and exit")
 	flag.Parse()
-	if err := run(*inFile, *benchName, *list, *allocator, *traceRun, *noCleanup, *stats, *control, *verilog, *flow); err != nil {
+	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "daa:", err)
 		os.Exit(1)
 	}
 }
 
-func run(inFile, benchName string, list bool, allocator string, traceRun, noCleanup, stats, control, verilog, flow bool) error {
-	if list {
+func run(w io.Writer, o options) error {
+	if o.list {
 		for _, n := range bench.Names() {
-			fmt.Println(n)
+			fmt.Fprintln(w, n)
 		}
 		return nil
 	}
-	tr, err := loadTrace(inFile, benchName)
+	tr, err := loadTrace(o.inFile, o.benchName)
 	if err != nil {
 		return err
 	}
-	if verilog || flow {
-		stats = false // machine-readable outputs suppress the report
+	if o.verilog || o.flow {
+		o.stats = false // machine-readable outputs suppress the report
 	} else {
-		fmt.Printf("value trace: %s\n\n", tr.Stats())
+		fmt.Fprintf(w, "value trace: %s\n\n", tr.Stats())
 	}
 
 	var design *rtl.Design
-	switch allocator {
+	switch o.allocator {
 	case "daa":
-		opt := core.Options{DisableCleanup: noCleanup}
-		if traceRun {
-			opt.Trace = os.Stdout
+		opt := core.Options{DisableCleanup: o.noCleanup, ExhaustiveMatch: o.exhaustive}
+		if o.trace {
+			opt.Trace = w
 		}
 		res, err := core.Synthesize(tr, opt)
 		if err != nil {
 			return err
 		}
 		design = res.Design
-		if stats {
-			fmt.Println("synthesis statistics:")
+		if o.stats {
+			fmt.Fprintln(w, "synthesis statistics:")
 			for _, ph := range res.Stats.Phases {
-				fmt.Printf("  %-12s rules=%-3d firings=%-5d wm-peak=%-5d %v\n",
-					ph.Name, ph.Rules, ph.Firings, ph.WMPeak, ph.Elapsed.Round(1000*1000))
+				fmt.Fprintf(w, "  %-12s rules=%-3d firings=%-5d wm-peak=%-5d matches=%-8d %v\n",
+					ph.Name, ph.Rules, ph.Firings, ph.WMPeak, ph.Engine.MatchCalls, ph.Elapsed.Round(1000*1000))
 			}
-			fmt.Printf("  total firings %d in %v (%.0f/sec)\n\n",
-				res.Stats.TotalFirings, res.Stats.Elapsed.Round(1000*1000), res.Stats.FiringsPerSecond())
+			fmt.Fprintf(w, "  total firings %d in %v (%.0f/sec), %d pattern tests\n\n",
+				res.Stats.TotalFirings, res.Stats.Elapsed.Round(1000*1000),
+				res.Stats.FiringsPerSecond(), res.Stats.TotalMatchCalls)
+		}
+		if o.engineStats {
+			writeEngineStats(w, res.Stats, o.exhaustive)
 		}
 	case "leftedge":
 		design, err = alloc.LeftEdge(tr, alloc.Options{})
@@ -98,36 +122,58 @@ func run(inFile, benchName string, list bool, allocator string, traceRun, noClea
 			return err
 		}
 	default:
-		return fmt.Errorf("unknown allocator %q (want daa, leftedge, or naive)", allocator)
+		return fmt.Errorf("unknown allocator %q (want daa, leftedge, or naive)", o.allocator)
 	}
 
-	if verilog {
+	if o.verilog {
 		var sb strings.Builder
 		if err := design.WriteVerilog(&sb, design.Name); err != nil {
 			return err
 		}
-		fmt.Print(sb.String())
+		fmt.Fprint(w, sb.String())
 		return nil
 	}
-	if flow {
-		return design.WriteControlFlowDot(os.Stdout)
+	if o.flow {
+		return design.WriteControlFlowDot(w)
 	}
 
-	fmt.Print(design.Report())
+	fmt.Fprint(w, design.Report())
 	if cs, err := design.ControlStats(); err == nil {
-		fmt.Printf("  controller: %d states, %d control assertions (widest step %d)\n",
+		fmt.Fprintf(w, "  controller: %d states, %d control assertions (widest step %d)\n",
 			cs.States, cs.Signals, cs.MaxSignals)
 	}
-	fmt.Printf("\ngate equivalents: %v\n", cost.Default().Design(design))
-	if control {
-		fmt.Println("\ncontrol table:")
+	fmt.Fprintf(w, "\ngate equivalents: %v\n", cost.Default().Design(design))
+	if o.control {
+		fmt.Fprintln(w, "\ncontrol table:")
 		var sb strings.Builder
 		if err := design.WriteControlTable(&sb); err != nil {
 			return err
 		}
-		fmt.Print(sb.String())
+		fmt.Fprint(w, sb.String())
 	}
 	return nil
+}
+
+// writeEngineStats prints the production-engine observability section: the
+// matcher's cost per phase and the most expensive rules to match.
+func writeEngineStats(w io.Writer, stats core.Stats, exhaustive bool) {
+	if exhaustive {
+		fmt.Fprintln(w, "engine statistics (exhaustive matcher; incremental counters inactive):")
+	} else {
+		fmt.Fprintln(w, "engine statistics (incremental matcher):")
+	}
+	for _, ph := range stats.Phases {
+		m := ph.Engine
+		fmt.Fprintf(w, "  %-12s deltas=%-6d rebuilds=%-4d added=%-6d invalidated=%-6d cs-peak=%-5d cs-mean=%.1f\n",
+			ph.Name, m.Deltas, m.Rebuilds, m.Added, m.Invalidated, m.ConflictPeak, m.ConflictMean)
+	}
+	agg := stats.EngineMetrics()
+	fmt.Fprintln(w, "  top rules by match time:")
+	for _, r := range agg.TopRulesByMatchTime(10) {
+		fmt.Fprintf(w, "    %-40s %-12s firings=%-5d deltas=%-6d matches=%-8d %v\n",
+			r.Name, r.Category, r.Firings, r.Deltas, r.MatchCalls, r.MatchTime.Round(1000))
+	}
+	fmt.Fprintln(w)
 }
 
 func loadTrace(inFile, benchName string) (*vt.Program, error) {

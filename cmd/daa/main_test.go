@@ -1,39 +1,69 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
+func runQuiet(o options) error { return run(io.Discard, o) }
+
 func TestRunListBenchmarks(t *testing.T) {
-	if err := run("", "", true, "daa", false, false, false, false, false, false); err != nil {
+	var sb strings.Builder
+	if err := run(&sb, options{list: true}); err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "mcs6502") {
+		t.Errorf("list output missing mcs6502: %q", sb.String())
 	}
 }
 
 func TestRunEveryAllocator(t *testing.T) {
 	for _, a := range []string{"daa", "leftedge", "naive"} {
-		if err := run("", "gcd", false, a, false, false, false, false, false, false); err != nil {
+		if err := runQuiet(options{benchName: "gcd", allocator: a}); err != nil {
 			t.Fatalf("%s: %v", a, err)
 		}
 	}
 }
 
 func TestRunWithControlAndTrace(t *testing.T) {
-	if err := run("", "counter", false, "daa", true, false, true, true, false, false); err != nil {
+	o := options{benchName: "counter", allocator: "daa", trace: true, stats: true, control: true}
+	if err := runQuiet(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunVerilog(t *testing.T) {
-	if err := run("", "gcd", false, "daa", false, false, false, false, true, false); err != nil {
+	if err := runQuiet(options{benchName: "gcd", allocator: "daa", verilog: true}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunNoCleanup(t *testing.T) {
-	if err := run("", "gcd", false, "daa", false, true, false, false, false, false); err != nil {
+	if err := runQuiet(options{benchName: "gcd", allocator: "daa", noCleanup: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEngineStats(t *testing.T) {
+	var sb strings.Builder
+	o := options{benchName: "gcd", allocator: "daa", stats: true, engineStats: true}
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"engine statistics", "top rules by match time", "cs-peak"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("engine-stats output missing %q", want)
+		}
+	}
+}
+
+func TestRunExhaustive(t *testing.T) {
+	o := options{benchName: "gcd", allocator: "daa", exhaustive: true, stats: true}
+	if err := runQuiet(o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -45,7 +75,7 @@ func TestRunFromFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "", false, "daa", false, false, false, false, false, false); err != nil {
+	if err := runQuiet(options{inFile: path, allocator: "daa"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -59,7 +89,7 @@ func TestRunErrors(t *testing.T) {
 		{"/no/such.isps", "", "daa"},
 	}
 	for _, c := range cases {
-		if err := run(c.in, c.bench, false, c.alloc, false, false, false, false, false, false); err == nil {
+		if err := runQuiet(options{inFile: c.in, benchName: c.bench, allocator: c.alloc}); err == nil {
 			t.Errorf("run(%q,%q,%q): expected error", c.in, c.bench, c.alloc)
 		}
 	}

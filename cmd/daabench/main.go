@@ -8,12 +8,18 @@
 //	E5 / Figure 2  scaling across the benchmark suite
 //	E6 / Table 4   cross-benchmark design quality
 //	E7 (extension) knowledge-ablation study
+//	E8 (engine)    per-rule match cost and conflict-set statistics
 //
 // Usage:
 //
 //	daabench              run everything
 //	daabench -only E2     run one experiment
-//	daabench -bench gcd   use a different benchmark for E2/E3/E4
+//	daabench -bench gcd   use a different benchmark for E2/E3/E4/E8
+//	daabench -json        emit machine-readable per-benchmark results
+//
+// With -json the tables are replaced by one JSON document with component
+// counts, firings, match calls, and elapsed time per benchmark and phase,
+// for recording the bench trajectory (BENCH_*.json) from CI.
 package main
 
 import (
@@ -27,18 +33,25 @@ import (
 
 func main() {
 	var (
-		only      = flag.String("only", "", "run a single experiment: E1..E7")
-		benchName = flag.String("bench", "mcs6502", "benchmark for E2, E3, and E4")
+		only      = flag.String("only", "", "run a single experiment: E1..E8")
+		benchName = flag.String("bench", "mcs6502", "benchmark for E2, E3, E4, and E8")
+		asJSON    = flag.Bool("json", false, "emit machine-readable per-benchmark results instead of tables")
 	)
 	flag.Parse()
-	if err := run(strings.ToUpper(*only), *benchName); err != nil {
+	if err := run(strings.ToUpper(*only), *benchName, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "daabench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(only, benchName string) error {
+func run(only, benchName string, asJSON bool) error {
 	w := os.Stdout
+	if asJSON {
+		if only != "" {
+			return fmt.Errorf("-json runs the whole suite; drop -only")
+		}
+		return exp.WriteJSON(w)
+	}
 	switch only {
 	case "":
 		return exp.All(w)
@@ -57,7 +70,9 @@ func run(only, benchName string) error {
 		return exp.RenderE6(w)
 	case "E7":
 		return exp.RenderE7(w)
+	case "E8", "ENGINE":
+		return exp.RenderEngineMetrics(w, benchName)
 	default:
-		return fmt.Errorf("unknown experiment %q (want E1..E7)", only)
+		return fmt.Errorf("unknown experiment %q (want E1..E8)", only)
 	}
 }

@@ -3,21 +3,27 @@ package main
 import "testing"
 
 func TestSingleExperiments(t *testing.T) {
-	for _, e := range []string{"E1", "E2", "E3", "E4"} {
-		if err := run(e, "gcd"); err != nil {
+	for _, e := range []string{"E1", "E2", "E3", "E4", "E8"} {
+		if err := run(e, "gcd", false); err != nil {
 			t.Fatalf("%s: %v", e, err)
 		}
 	}
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	if err := run("E9", "gcd"); err == nil {
+	if err := run("E9", "gcd", false); err == nil {
 		t.Error("expected error for unknown experiment")
 	}
 }
 
 func TestUnknownBenchmark(t *testing.T) {
-	if err := run("E2", "nope"); err == nil {
+	if err := run("E2", "nope", false); err == nil {
 		t.Error("expected error for unknown benchmark")
+	}
+}
+
+func TestJSONRejectsOnly(t *testing.T) {
+	if err := run("E2", "gcd", true); err == nil {
+		t.Error("expected error combining -json with -only")
 	}
 }

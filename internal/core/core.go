@@ -52,6 +52,14 @@ type Options struct {
 	ExtraRules []*prod.Rule
 	// Trace, when non-nil, receives one line per rule firing.
 	Trace io.Writer
+	// ExhaustiveMatch runs every phase engine with full per-cycle
+	// re-matching instead of incremental conflict-set maintenance, for
+	// comparison and debugging.
+	ExhaustiveMatch bool
+	// CrossCheckMatch runs the exhaustive matcher in lockstep with the
+	// incremental one, panicking on any divergence in the selected
+	// instantiation (the equivalence tests use this).
+	CrossCheckMatch bool
 }
 
 // PhaseStats records one phase's execution for experiment E3.
@@ -62,14 +70,26 @@ type PhaseStats struct {
 	Cycles  int
 	WMPeak  int
 	Elapsed time.Duration
-	Counts  rtl.Counts // design component counts after the phase (E4)
+	Counts  rtl.Counts   // design component counts after the phase (E4)
+	Engine  prod.Metrics // engine observability snapshot (match cost, conflict set)
 }
 
 // Stats aggregates a synthesis run.
 type Stats struct {
-	Phases       []PhaseStats
-	TotalFirings int
-	Elapsed      time.Duration
+	Phases          []PhaseStats
+	TotalFirings    int
+	TotalMatchCalls int // pattern tests executed across all phases
+	Elapsed         time.Duration
+}
+
+// EngineMetrics merges the per-phase engine snapshots into one aggregate
+// view of the run's match cost (per-rule rows keep their phase category).
+func (s Stats) EngineMetrics() prod.Metrics {
+	var m prod.Metrics
+	for _, ph := range s.Phases {
+		m = m.Merge(ph.Engine)
+	}
+	return m
 }
 
 // FiringsPerSecond reports the aggregate rule-firing rate.
@@ -117,6 +137,8 @@ func Synthesize(trace *vt.Program, opt Options) (*Result, error) {
 		wm := prod.NewWM()
 		eng := prod.NewEngine(wm)
 		eng.TraceWriter = opt.Trace
+		eng.Exhaustive = opt.ExhaustiveMatch
+		eng.CrossCheck = opt.CrossCheckMatch
 		rules := ph.rules()
 		if ph.name == "cleanup" {
 			rules = append(rules, opt.ExtraRules...)
@@ -144,8 +166,10 @@ func Synthesize(trace *vt.Program, opt Options) (*Result, error) {
 			WMPeak:  wm.Peak(),
 			Elapsed: time.Since(t0),
 			Counts:  s.d.Counts(),
+			Engine:  eng.Metrics(),
 		})
 		stats.TotalFirings += eng.Firings()
+		stats.TotalMatchCalls += eng.MatchCount()
 	}
 	stats.Elapsed = time.Since(start)
 	if err := s.d.Validate(); err != nil {

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestFiringTraceEquivalence asserts the incremental matcher reproduces
+// the exhaustive matcher's firing sequence bit for bit — every rule name
+// and every matched element ID, in order — on every embedded benchmark.
+// This is the acceptance test for the conflict-resolution semantics
+// (refraction, recency, specificity, declaration order) surviving the
+// incremental refactor unchanged.
+func TestFiringTraceEquivalence(t *testing.T) {
+	for _, name := range bench.Names() {
+		t.Run(name, func(t *testing.T) {
+			trace := func(exhaustive bool) string {
+				tr, err := bench.Load(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if _, err := Synthesize(tr, Options{Trace: &buf, ExhaustiveMatch: exhaustive}); err != nil {
+					t.Fatal(err)
+				}
+				return buf.String()
+			}
+			inc, exh := trace(false), trace(true)
+			if inc == "" {
+				t.Fatal("empty firing trace")
+			}
+			if inc != exh {
+				t.Errorf("firing traces diverge:\n%s", firstDiff(inc, exh))
+			}
+		})
+	}
+}
+
+// TestCrossCheckAllBenchmarks synthesizes every embedded benchmark with
+// the lockstep cross-check enabled: each cycle the exhaustive matcher
+// re-derives the selected instantiation and the engine panics on any
+// disagreement with the incremental conflict set.
+func TestCrossCheckAllBenchmarks(t *testing.T) {
+	for _, name := range bench.Names() {
+		t.Run(name, func(t *testing.T) {
+			tr, err := bench.Load(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Synthesize(tr, Options{CrossCheckMatch: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.TotalFirings == 0 {
+				t.Error("cross-checked synthesis fired no rules")
+			}
+		})
+	}
+}
+
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  incremental: %s\n  exhaustive:  %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("trace lengths differ: %d vs %d lines", len(al), len(bl))
+}

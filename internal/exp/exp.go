@@ -13,6 +13,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/prod"
 	"repro/internal/report"
 	"repro/internal/rtl"
 	"repro/internal/vt"
@@ -157,22 +158,84 @@ func E3(benchName string) (*E3Data, error) {
 	return &E3Data{Bench: benchName, TraceOp: tr.OpCount(), Stats: res.Stats}, nil
 }
 
-// RenderE3 prints Table 3.
+// RenderE3 prints Table 3, including the engine-metrics columns from the
+// incremental matcher: pattern tests executed, incremental conflict-set
+// updates vs full re-enumerations, and the conflict-set peak.
 func RenderE3(w io.Writer, benchName string) error {
 	d, err := E3(benchName)
 	if err != nil {
 		return err
 	}
 	t := report.New(fmt.Sprintf("E3 / Table 3 — synthesis statistics on %s (%d VT operators)", benchName, d.TraceOp),
-		"phase", "rules", "firings", "cycles", "WM peak", "time")
+		"phase", "rules", "firings", "cycles", "WM peak", "match calls", "deltas", "rebuilds", "CS peak", "time")
 	for _, ph := range d.Stats.Phases {
-		t.Row(ph.Name, ph.Rules, ph.Firings, ph.Cycles, ph.WMPeak, ph.Elapsed.Round(1000*1000).String())
+		t.Row(ph.Name, ph.Rules, ph.Firings, ph.Cycles, ph.WMPeak,
+			ph.Engine.MatchCalls, ph.Engine.Deltas, ph.Engine.Rebuilds, ph.Engine.ConflictPeak,
+			ph.Elapsed.Round(1000*1000).String())
 	}
-	t.Row("total", "", d.Stats.TotalFirings, "", "", d.Stats.Elapsed.Round(1000*1000).String())
+	t.Row("total", "", d.Stats.TotalFirings, "", "", d.Stats.TotalMatchCalls, "", "", "",
+		d.Stats.Elapsed.Round(1000*1000).String())
 	t.Note("firing rate: %.0f rules/sec (the 1983 VAX-11/780 OPS5 ran ~2/sec)", d.Stats.FiringsPerSecond())
+	t.Note("match calls count pattern tests; deltas/rebuilds are incremental vs full conflict-set updates.")
 	t.Render(w)
 	return nil
 }
+
+// EngineMetrics runs the DAA on a benchmark and returns the merged
+// engine-metrics snapshot across all phases.
+func EngineMetrics(benchName string) (*E3Data, prod.Metrics, error) {
+	d, err := E3(benchName)
+	if err != nil {
+		return nil, prod.Metrics{}, err
+	}
+	return d, d.Stats.EngineMetrics(), nil
+}
+
+// RenderEngineMetrics prints the engine observability section: where the
+// incremental matcher spends its time, rule by rule.
+func RenderEngineMetrics(w io.Writer, benchName string) error {
+	d, m, err := EngineMetrics(benchName)
+	if err != nil {
+		return err
+	}
+	t := report.New(fmt.Sprintf("E8 (engine) — per-rule match cost on %s, top %d by match time", benchName, engineTopRules),
+		"rule", "phase", "firings", "deltas", "rebuilds", "match calls", "added", "invalidated", "match time")
+	for _, r := range m.TopRulesByMatchTime(engineTopRules) {
+		t.Row(r.Name, r.Category, r.Firings, r.Deltas, r.Rebuilds, r.MatchCalls,
+			r.Added, r.Invalidated, r.MatchTime.Round(1000).String())
+	}
+	t.Note("conflict set: peak %d, mean %.1f over %d cycles; %d instantiations added, %d invalidated.",
+		m.ConflictPeak, m.ConflictMean, m.Cycles, m.Added, m.Invalidated)
+	t.Note("incremental updates: %d deltas vs %d full rebuilds (%d pattern tests total).",
+		m.Deltas, m.Rebuilds, m.MatchCalls)
+	t.Render(w)
+	for _, ph := range d.Stats.Phases {
+		if len(ph.Engine.ConflictSeries) < 2 {
+			continue
+		}
+		labels := make([]string, len(ph.Engine.ConflictSeries))
+		vals := make([]float64, len(ph.Engine.ConflictSeries))
+		for i, v := range ph.Engine.ConflictSeries {
+			labels[i] = fmt.Sprintf("cycle %d", i*ph.Engine.SeriesStride+1)
+			vals[i] = float64(v)
+		}
+		if len(labels) > 12 {
+			step := (len(labels) + 11) / 12
+			var ls []string
+			var vs []float64
+			for i := 0; i < len(labels); i += step {
+				ls = append(ls, labels[i])
+				vs = append(vs, vals[i])
+			}
+			labels, vals = ls, vs
+		}
+		report.Series(w, fmt.Sprintf("E8 (engine) — conflict-set size over the %s phase", ph.Name), labels, vals)
+	}
+	return nil
+}
+
+// engineTopRules bounds the per-rule table of the engine section.
+const engineTopRules = 12
 
 // E4Point is one phase snapshot of the design-evolution figure.
 type E4Point struct {
@@ -336,7 +399,10 @@ func All(w io.Writer) error {
 	if err := RenderE6(w); err != nil {
 		return err
 	}
-	return RenderE7(w)
+	if err := RenderE7(w); err != nil {
+		return err
+	}
+	return RenderEngineMetrics(w, "mcs6502")
 }
 
 // E7Row is one benchmark of the knowledge-ablation study: the full DAA

@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/rtl"
+)
+
+// JSONPhase is one synthesis phase of a JSONResult.
+type JSONPhase struct {
+	Name       string  `json:"name"`
+	Rules      int     `json:"rules"`
+	Firings    int     `json:"firings"`
+	Cycles     int     `json:"cycles"`
+	WMPeak     int     `json:"wmPeak"`
+	MatchCalls int     `json:"matchCalls"`
+	Deltas     int     `json:"deltas"`
+	Rebuilds   int     `json:"rebuilds"`
+	CSPeak     int     `json:"conflictPeak"`
+	ElapsedMS  float64 `json:"elapsedMs"`
+}
+
+// JSONResult is the machine-readable synthesis record for one benchmark:
+// the component counts and the engine cost figures whose trajectory CI
+// tracks across commits (BENCH_*.json).
+type JSONResult struct {
+	Bench      string      `json:"bench"`
+	Ops        int         `json:"ops"`
+	Counts     rtl.Counts  `json:"counts"`
+	Firings    int         `json:"firings"`
+	MatchCalls int         `json:"matchCalls"`
+	ElapsedMS  float64     `json:"elapsedMs"`
+	Phases     []JSONPhase `json:"phases"`
+}
+
+// JSONResults synthesizes every embedded benchmark and collects one
+// JSONResult each, in bench.Names order.
+func JSONResults() ([]JSONResult, error) {
+	var out []JSONResult
+	for _, name := range bench.Names() {
+		d, err := E3(name)
+		if err != nil {
+			return nil, err
+		}
+		r := JSONResult{
+			Bench:      d.Bench,
+			Ops:        d.TraceOp,
+			Firings:    d.Stats.TotalFirings,
+			MatchCalls: d.Stats.TotalMatchCalls,
+			ElapsedMS:  float64(d.Stats.Elapsed.Microseconds()) / 1000,
+		}
+		for _, ph := range d.Stats.Phases {
+			r.Counts = ph.Counts // counts after the last phase run
+			r.Phases = append(r.Phases, JSONPhase{
+				Name:       ph.Name,
+				Rules:      ph.Rules,
+				Firings:    ph.Firings,
+				Cycles:     ph.Cycles,
+				WMPeak:     ph.WMPeak,
+				MatchCalls: ph.Engine.MatchCalls,
+				Deltas:     ph.Engine.Deltas,
+				Rebuilds:   ph.Engine.Rebuilds,
+				CSPeak:     ph.Engine.ConflictPeak,
+				ElapsedMS:  float64(ph.Elapsed.Microseconds()) / 1000,
+			})
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// WriteJSON emits the per-benchmark results as indented JSON, the format
+// cmd/daabench -json prints for CI recording.
+func WriteJSON(w io.Writer) error {
+	results, err := JSONResults()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Results []JSONResult `json:"results"`
+	}{results})
+}

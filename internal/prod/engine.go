@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Rule is a production: a named left-hand side of patterns and a right-hand
@@ -15,7 +16,10 @@ type Rule struct {
 	Category string
 	Doc      string
 	Patterns []Pattern
-	// Where, when non-nil, is an extra join test over the full match.
+	// Where, when non-nil, is an extra join test over the full match. It is
+	// re-evaluated on every cycle an instantiation is considered, so it may
+	// read state outside working memory (the DAA rules consult the growing
+	// RTL design); it must not mutate anything.
 	Where func(*Match) bool
 	// Action fires the rule. It may make/modify/remove elements and halt
 	// the engine.
@@ -24,6 +28,7 @@ type Rule struct {
 	index       int
 	specificity int
 	positives   int
+	negClasses  map[string]bool // classes appearing in negated patterns
 }
 
 // Specificity reports the number of condition tests on the rule's LHS
@@ -37,6 +42,14 @@ func (r *Rule) Specificity() int {
 }
 
 // Engine runs a rule set to quiescence over a working memory.
+//
+// The default matcher is incremental: instantiations persist across
+// recognize-act cycles and only rules whose patterns could be affected by
+// working-memory changes since their last match are re-enumerated (see the
+// package comment). Exhaustive restores the original re-match-everything
+// behavior; CrossCheck runs both matchers in lockstep and panics if they
+// ever select a different instantiation, which is how the equivalence
+// tests pin the refactor down.
 type Engine struct {
 	WM    *WM
 	rules []*Rule
@@ -45,6 +58,14 @@ type Engine struct {
 	MaxFirings int
 	// TraceWriter, when non-nil, receives one line per firing.
 	TraceWriter io.Writer
+	// Exhaustive recomputes every rule's instantiations on every cycle
+	// (the pre-incremental behavior), for comparison and debugging.
+	Exhaustive bool
+	// CrossCheck runs the exhaustive matcher in lockstep with the
+	// incremental one and panics on any divergence in the selected
+	// instantiation. It is a verification mode: roughly the cost of both
+	// matchers combined.
+	CrossCheck bool
 
 	halted     bool
 	fired      map[refraction]bool
@@ -52,29 +73,72 @@ type Engine struct {
 	cycles     int
 	matchCalls int
 	perRule    map[string]int
+
+	// Incremental-matcher state. cs is the persistent conflict set, one
+	// slice of instantiations per rule; subClass and subAttr form the
+	// subscription index built at AddRule time; pending buffers WM change
+	// notifications between cycles. Per cycle each subscribed rule either
+	// gets a delta update seeded on the touched elements (needFull false,
+	// touched non-empty) or a full re-enumeration (needFull true — the
+	// initial match, or a change to a class the rule negates, since
+	// negations can enable instantiations that share no element with the
+	// change).
+	cs       [][]*Match
+	subClass map[string][]int
+	subAttr  map[classAttr][]int
+	pending  []Change
+	needFull []bool
+	touched  [][]*Element
+	seeded   bool
+
+	met engineMetrics
+}
+
+type classAttr struct {
+	class, attr string
 }
 
 // refraction keys an instantiation: a rule plus the identity *and recency*
 // of the matched elements, so a modified element re-enables its rules, as
-// in OPS5.
+// in OPS5. Rules with more than four positive patterns fold the overflow
+// into an FNV-1a hash so key construction never allocates.
 type refraction struct {
 	rule  int
 	sig   [4]int64 // packed (id,time) pairs for up to the first 4 elements
-	extra string   // overflow for rules with >4 positive patterns
+	extra uint64   // FNV-1a over the packed pairs beyond the fourth
 }
 
-// NewEngine returns an engine over wm with no rules.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// NewEngine returns an engine over wm with no rules. The engine observes
+// wm from this point on; elements made before the first cycle are covered
+// by the initial full match.
 func NewEngine(wm *WM) *Engine {
-	return &Engine{
+	e := &Engine{
 		WM:         wm,
 		MaxFirings: 1_000_000,
 		fired:      map[refraction]bool{},
 		perRule:    map[string]int{},
+		subClass:   map[string][]int{},
+		subAttr:    map[classAttr][]int{},
 	}
+	wm.Observe(func(c Change) { e.pending = append(e.pending, c) })
+	return e
 }
 
 // AddRule registers a rule. Registration order is the final conflict-
 // resolution tiebreaker, so rule sets behave deterministically.
+//
+// Registration also builds the rule's subscriptions: every pattern —
+// negated ones included, since an add can invalidate and a remove can
+// enable a negation — subscribes to its class (for makes and removes) and
+// to each attribute it tests (for modifies). Pattern predicates (Pred)
+// must therefore be pure functions of the attribute value; join state that
+// changes outside working memory belongs in Where, which is re-evaluated
+// every cycle.
 func (e *Engine) AddRule(r *Rule) {
 	if r.Name == "" {
 		panic("prod: rule without a name")
@@ -94,9 +158,42 @@ func (e *Engine) AddRule(r *Rule) {
 		rc.specificity += p.specificity()
 		if !p.Negated {
 			rc.positives++
+		} else {
+			if rc.negClasses == nil {
+				rc.negClasses = map[string]bool{}
+			}
+			rc.negClasses[p.Class] = true
 		}
 	}
 	e.rules = append(e.rules, &rc)
+	e.cs = append(e.cs, nil)
+	e.needFull = append(e.needFull, true) // never matched yet
+	e.touched = append(e.touched, nil)
+	e.met.rules = append(e.met.rules, ruleCounters{})
+	for _, p := range rc.Patterns {
+		e.subscribeClass(p.Class, rc.index)
+		for _, t := range p.tests {
+			e.subscribeAttr(classAttr{p.Class, t.attr}, rc.index)
+		}
+	}
+}
+
+func (e *Engine) subscribeClass(class string, idx int) {
+	for _, i := range e.subClass[class] {
+		if i == idx {
+			return
+		}
+	}
+	e.subClass[class] = append(e.subClass[class], idx)
+}
+
+func (e *Engine) subscribeAttr(k classAttr, idx int) {
+	for _, i := range e.subAttr[k] {
+		if i == idx {
+			return
+		}
+	}
+	e.subAttr[k] = append(e.subAttr[k], idx)
 }
 
 // Rules returns the registered rules in registration order.
@@ -146,6 +243,7 @@ func (e *Engine) Run() error {
 		e.fired[e.refractionKey(m)] = true
 		e.firings++
 		e.perRule[m.Rule.Name]++
+		e.met.rules[m.Rule.index].firings++
 		if e.TraceWriter != nil {
 			fmt.Fprintf(e.TraceWriter, "%6d  %-40s %s\n", e.firings, m.Rule.Name, matchIDs(m))
 		}
@@ -165,27 +263,117 @@ func matchIDs(m *Match) string {
 func (e *Engine) refractionKey(m *Match) refraction {
 	k := refraction{rule: m.Rule.index}
 	for i, el := range m.Elements {
-		pack := int64(el.ID)<<32 | int64(el.Time)
-		if i < 4 {
-			k.sig[i] = pack
-		} else {
-			k.extra += fmt.Sprintf("%d:%d;", el.ID, el.Time)
+		if i == 4 {
+			break
 		}
+		k.sig[i] = int64(el.ID)<<32 | int64(el.Time)
+	}
+	if len(m.Elements) > 4 {
+		h := uint64(fnvOffset64)
+		for _, el := range m.Elements[4:] {
+			pack := uint64(el.ID)<<32 | uint64(el.Time)
+			for s := 0; s < 64; s += 8 {
+				h ^= (pack >> s) & 0xff
+				h *= fnvPrime64
+			}
+		}
+		k.extra = h
 	}
 	return k
 }
 
-// selectMatch computes the conflict set and applies conflict resolution:
+// selectMatch picks the next instantiation to fire by conflict resolution:
 //  1. refraction — an instantiation fires at most once per element recency
 //  2. recency — the instantiation whose matched elements are most recent
 //     (compared lexicographically on descending time tags)
 //  3. specificity — more condition tests win
 //  4. registration order, then element IDs (determinism)
+//
+// The ordering is total over distinct instantiations (two matches of one
+// rule with identical elements are the same instantiation), so the
+// incremental and exhaustive matchers necessarily agree; CrossCheck
+// asserts it anyway.
 func (e *Engine) selectMatch() *Match {
+	if e.Exhaustive && !e.CrossCheck {
+		// Drop the buffered changes but mark everything dirty, so the
+		// incremental state stays correct if Exhaustive is toggled off.
+		e.pending = e.pending[:0]
+		for i := range e.needFull {
+			e.needFull[i] = true
+		}
+		return e.selectExhaustive(true)
+	}
+	m := e.selectIncremental()
+	if e.CrossCheck {
+		ref := e.selectExhaustive(false)
+		if !sameInstantiation(m, ref) {
+			panic(fmt.Sprintf("prod: cross-check divergence at cycle %d:\n  incremental: %s\n  exhaustive:  %s",
+				e.cycles, describeMatch(m), describeMatch(ref)))
+		}
+	}
+	return m
+}
+
+func describeMatch(m *Match) string {
+	if m == nil {
+		return "<none>"
+	}
+	return m.Rule.Name + " " + matchIDs(m)
+}
+
+func sameInstantiation(a, b *Match) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Rule.index != b.Rule.index || len(a.Elements) != len(b.Elements) {
+		return false
+	}
+	for i := range a.Elements {
+		if a.Elements[i] != b.Elements[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// selectIncremental brings the persistent conflict set up to date with the
+// working-memory changes buffered since the last cycle, then scans it.
+func (e *Engine) selectIncremental() *Match {
+	e.applyChanges()
+	size := 0
+	var best *Match
+	var bestKey []int
+	for i, r := range e.rules {
+		size += len(e.cs[i])
+		for _, m := range e.cs[i] {
+			if e.fired[e.refractionKey(m)] {
+				continue
+			}
+			if r.Where != nil && !r.Where(m) {
+				continue
+			}
+			key := recencyKey(m)
+			if best == nil || better(m, key, best, bestKey) {
+				best = m
+				bestKey = key
+			}
+		}
+	}
+	e.met.observeConflictSize(size)
+	return best
+}
+
+// selectExhaustive re-enumerates every rule, the pre-incremental strategy.
+// It is kept both as the CrossCheck reference (count=false: reference runs
+// do not perturb the match-call statistics) and as the Exhaustive mode.
+func (e *Engine) selectExhaustive(count bool) *Match {
 	var best *Match
 	var bestKey []int
 	for _, r := range e.rules {
-		e.matchRule(r, func(m *Match) {
+		e.enumerate(r, -1, nil, nil, count, func(m *Match) {
+			if r.Where != nil && !r.Where(m) {
+				return
+			}
 			if e.fired[e.refractionKey(m)] {
 				return
 			}
@@ -197,6 +385,172 @@ func (e *Engine) selectMatch() *Match {
 		})
 	}
 	return best
+}
+
+// applyChanges drains the buffered WM notifications, routes each through
+// the subscription index, and brings exactly the affected rules up to
+// date: a delta update seeded on the touched elements in the common case,
+// a full re-enumeration when a rule has never matched or a class it
+// negates was touched. The first call matches every rule against the
+// initial working memory.
+func (e *Engine) applyChanges() {
+	if !e.seeded {
+		// needFull[i] is already true for every rule; the buffered changes
+		// describe the seeding of the initial WM, which the full first
+		// match observes directly.
+		e.seeded = true
+		e.pending = e.pending[:0]
+	}
+	for _, ch := range e.pending {
+		class := ch.El.Class
+		switch ch.Kind {
+		case ChangeMake, ChangeRemove:
+			for _, i := range e.subClass[class] {
+				e.markTouched(i, ch.El)
+			}
+		case ChangeModify:
+			for _, a := range ch.Attrs {
+				for _, i := range e.subAttr[classAttr{class, a}] {
+					e.markTouched(i, ch.El)
+				}
+			}
+		}
+	}
+	e.pending = e.pending[:0]
+	for i := range e.rules {
+		switch {
+		case e.needFull[i]:
+			e.rebuild(e.rules[i])
+		case len(e.touched[i]) > 0:
+			e.delta(e.rules[i], e.touched[i])
+		}
+		e.needFull[i] = false
+		e.touched[i] = e.touched[i][:0]
+	}
+}
+
+// markTouched records that el changed in a way rule i subscribed to. A
+// change to a class the rule negates forces a full re-enumeration: it can
+// enable or disable instantiations that share no element with el.
+func (e *Engine) markTouched(i int, el *Element) {
+	if e.needFull[i] {
+		return
+	}
+	if e.rules[i].negClasses[el.Class] {
+		e.needFull[i] = true
+		return
+	}
+	for _, x := range e.touched[i] {
+		if x == el {
+			return
+		}
+	}
+	e.touched[i] = append(e.touched[i], el)
+}
+
+// rebuild re-enumerates one rule's instantiations from scratch and diffs
+// them against the previous set for the added/invalidated metrics.
+func (e *Engine) rebuild(r *Rule) {
+	t0 := time.Now()
+	old := e.cs[r.index]
+	var fresh []*Match
+	e.enumerate(r, -1, nil, nil, true, func(m *Match) { fresh = append(fresh, m) })
+	e.cs[r.index] = fresh
+
+	rm := &e.met.rules[r.index]
+	rm.rebuilds++
+	rm.matchTime += time.Since(t0)
+	added, invalidated := diffInstantiations(e, old, fresh)
+	rm.added += added
+	rm.invalidated += invalidated
+	e.met.added += added
+	e.met.invalidated += invalidated
+	e.met.rebuilds++
+}
+
+// delta incrementally updates one rule's instantiations after a batch of
+// element changes: instantiations containing a touched element are
+// dropped, then the joins *through* each touched element are re-enumerated
+// with that element pinned in place — the Rete idea of matching the change
+// rather than the working memory. Each new instantiation is attributed to
+// its first touched position (earlier positions exclude touched elements),
+// so a batch never adds an instantiation twice.
+func (e *Engine) delta(r *Rule, touched []*Element) {
+	t0 := time.Now()
+	old := e.cs[r.index]
+	kept := old[:0]
+	dropped := 0
+	for _, m := range old {
+		if matchTouches(m, touched) {
+			dropped++
+			continue
+		}
+		kept = append(kept, m)
+	}
+	added := 0
+	for _, x := range touched {
+		if !x.Live() {
+			continue
+		}
+		for pi, p := range r.Patterns {
+			if p.Negated || p.Class != x.Class {
+				continue
+			}
+			e.enumerate(r, pi, x, touched, true, func(m *Match) {
+				kept = append(kept, m)
+				added++
+			})
+		}
+	}
+	e.cs[r.index] = kept
+
+	rm := &e.met.rules[r.index]
+	rm.deltas++
+	rm.matchTime += time.Since(t0)
+	rm.added += added
+	rm.invalidated += dropped
+	e.met.added += added
+	e.met.invalidated += dropped
+	e.met.deltas++
+}
+
+func matchTouches(m *Match, touched []*Element) bool {
+	for _, el := range m.Elements {
+		for _, x := range touched {
+			if el == x {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// diffInstantiations counts, by refraction key (rule + element identity +
+// recency), how many instantiations appear only in fresh (added) and only
+// in old (invalidated).
+func diffInstantiations(e *Engine, old, fresh []*Match) (added, invalidated int) {
+	switch {
+	case len(old) == 0:
+		return len(fresh), 0
+	case len(fresh) == 0:
+		return 0, len(old)
+	}
+	prev := make(map[refraction]int, len(old))
+	for _, m := range old {
+		prev[e.refractionKey(m)]++
+	}
+	for _, m := range fresh {
+		k := e.refractionKey(m)
+		if prev[k] > 0 {
+			prev[k]--
+		} else {
+			added++
+		}
+	}
+	for _, n := range prev {
+		invalidated += n
+	}
+	return added, invalidated
 }
 
 func recencyKey(m *Match) []int {
@@ -234,27 +588,41 @@ func better(m *Match, key []int, best *Match, bestKey []int) bool {
 	return false
 }
 
-// matchRule enumerates every instantiation of r, invoking yield for each.
-// Candidate elements per pattern come from the narrowest applicable index:
-// an Eq test, or a Bind test whose variable is already bound, hashes
-// directly to the matching elements.
-func (e *Engine) matchRule(r *Rule, yield func(*Match)) {
+// enumerate yields instantiations of r's patterns under the current
+// working memory, in deterministic candidate order. Where is *not* applied
+// here: it is a per-cycle test, evaluated at selection time. Candidate
+// elements per pattern come from the narrowest applicable index: an Eq
+// test, or a Bind test whose variable is already bound, hashes directly to
+// the matching elements.
+//
+// With pinPat < 0 every instantiation is yielded (a full enumeration).
+// Otherwise pattern pinPat is pinned to the single element pin, and
+// positive patterns *before* pinPat skip every element in touched: the
+// delta update calls this once per (touched element, matching pattern)
+// pair, and the exclusion attributes each new instantiation to its first
+// touched position so none is yielded twice. Negated patterns always test
+// the full working memory.
+func (e *Engine) enumerate(r *Rule, pinPat int, pin *Element, touched []*Element, count bool, yield func(*Match)) {
 	var env bindings
 	els := make([]*Element, 0, len(r.Patterns))
+	pinned := [1]*Element{pin}
+	tested := 0
 	var rec func(pi int)
 	rec = func(pi int) {
 		if pi == len(r.Patterns) {
-			m := &Match{Rule: r, Elements: append([]*Element(nil), els...), binds: env.snapshot()}
-			if r.Where == nil || r.Where(m) {
-				yield(m)
-			}
+			yield(&Match{Rule: r, Elements: append([]*Element(nil), els...), binds: env.snapshot()})
 			return
 		}
 		p := r.Patterns[pi]
-		candidates := e.candidates(p, &env)
+		var candidates []*Element
+		if pi == pinPat {
+			candidates = pinned[:]
+		} else {
+			candidates = e.candidates(p, &env)
+		}
 		if p.Negated {
 			for _, el := range candidates {
-				e.matchCalls++
+				tested++
 				if mark, ok := p.match(el, &env); ok {
 					env.undo(mark)
 					return // negation fails
@@ -263,8 +631,12 @@ func (e *Engine) matchRule(r *Rule, yield func(*Match)) {
 			rec(pi + 1)
 			return
 		}
+		excludeTouched := pinPat >= 0 && pi < pinPat
 		for _, el := range candidates {
-			e.matchCalls++
+			if excludeTouched && containsElement(touched, el) {
+				continue
+			}
+			tested++
 			if mark, ok := p.match(el, &env); ok {
 				els = append(els, el)
 				rec(pi + 1)
@@ -274,6 +646,19 @@ func (e *Engine) matchRule(r *Rule, yield func(*Match)) {
 		}
 	}
 	rec(0)
+	if count {
+		e.matchCalls += tested
+		e.met.rules[r.index].matchCalls += tested
+	}
+}
+
+func containsElement(set []*Element, el *Element) bool {
+	for _, x := range set {
+		if x == el {
+			return true
+		}
+	}
+	return false
 }
 
 // candidates returns the narrowest element set the working-memory indexes
@@ -305,7 +690,7 @@ func (e *Engine) candidates(p Pattern, b *bindings) []*Element {
 }
 
 // MatchCount reports how many pattern tests the matcher has executed;
-// exposed for the engine benchmarks.
+// exposed for the engine benchmarks and the observability layer.
 func (e *Engine) MatchCount() int { return e.matchCalls }
 
 // KnowledgeStats describes a rule set for reporting (experiment E1).

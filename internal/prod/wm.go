@@ -11,14 +11,24 @@
 // specificity, then declaration order — and fires it, until the conflict
 // set is empty or a rule halts the engine.
 //
-// The matcher is class-indexed rather than a Rete network; with the rule
-// and working-memory sizes of high-level synthesis this is more than fast
-// enough (see BenchmarkE3SynthesisStats) and keeps the engine simple,
-// deterministic, and easy to trace.
+// Like OPS5's Rete network, the matcher is incremental: the conflict set
+// persists across recognize-act cycles. The working memory emits a change
+// notification for every Make, Modify, and Remove, and the engine keeps a
+// subscription index, built at AddRule time, mapping each (class, attribute)
+// a rule's patterns test — negated patterns included, since an add can
+// invalidate and a remove can enable them — to the rules whose
+// instantiations could change. Each cycle only the affected rules are
+// re-matched; everything else keeps its instantiations from earlier
+// cycles. Conflict-resolution semantics are bit-for-bit those of the
+// exhaustive matcher (kept as Engine.Exhaustive), and Engine.CrossCheck
+// runs both in lockstep, diffing the selected instantiation every cycle.
+// See Engine.Metrics for the per-rule match-cost observability this
+// enables.
 package prod
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 	"strings"
 )
@@ -125,17 +135,39 @@ func (e *Element) String() string {
 // Attrs is the attribute/value map used to create or modify elements.
 type Attrs map[string]any
 
+// ChangeKind discriminates working-memory change notifications.
+type ChangeKind uint8
+
+const (
+	ChangeMake   ChangeKind = iota // a new element entered working memory
+	ChangeModify                   // an element's attributes changed
+	ChangeRemove                   // an element left working memory
+)
+
+// Change is one working-memory mutation, delivered to observers registered
+// with WM.Observe. For ChangeModify, Attrs names the attributes whose
+// values actually changed (set, unset, or altered); a Modify that only
+// bumps recency carries no attrs. For ChangeMake and ChangeRemove, Attrs
+// is nil: every attribute of the element is considered touched.
+type Change struct {
+	Kind  ChangeKind
+	El    *Element
+	Attrs []string
+}
+
 // WM is a working memory: the set of live elements, indexed by class and —
 // for fast joins — by every (class, attribute, value) triple. Attribute
 // values must therefore be comparable Go values (ints, strings, bools,
-// pointers); that is what rules store in practice.
+// pointers); storing a non-comparable value (slice, map, function) panics
+// with the class and attribute named.
 type WM struct {
-	byClass map[string][]*Element
-	byAttr  map[attrKey][]*Element
-	nextID  int
-	clock   int
-	count   int
-	peak    int
+	byClass   map[string][]*Element
+	byAttr    map[attrKey][]*Element
+	observers []func(Change)
+	nextID    int
+	clock     int
+	count     int
+	peak      int
 }
 
 type attrKey struct {
@@ -148,6 +180,30 @@ func NewWM() *WM {
 	return &WM{byClass: map[string][]*Element{}, byAttr: map[attrKey][]*Element{}}
 }
 
+// Observe registers f to receive every subsequent working-memory change.
+// The incremental matcher (Engine) is the primary observer; tracing and
+// metrics layers may register too. Observers must not mutate the WM.
+func (w *WM) Observe(f func(Change)) { w.observers = append(w.observers, f) }
+
+func (w *WM) notify(c Change) {
+	for _, f := range w.observers {
+		f(c)
+	}
+}
+
+// checkAttrValue rejects non-comparable attribute values up front: they
+// would otherwise surface later as an opaque "hash of unhashable type"
+// runtime panic inside the (class, attr, value) index or the old == v
+// comparison in Modify.
+func checkAttrValue(class, attr string, v any) {
+	if v == nil {
+		return
+	}
+	if t := reflect.TypeOf(v); !t.Comparable() {
+		panic(fmt.Sprintf("prod: %s ^%s: attribute value of non-comparable type %s (working-memory values must be comparable: ints, strings, bools, pointers)", class, attr, t))
+	}
+}
+
 // Make creates a new element of the given class.
 func (w *WM) Make(class string, attrs Attrs) *Element {
 	w.clock++
@@ -155,6 +211,7 @@ func (w *WM) Make(class string, attrs Attrs) *Element {
 	w.nextID++
 	for k, v := range attrs {
 		if v != nil {
+			checkAttrValue(class, k, v)
 			e.set(k, v)
 			w.index(e, k, v)
 		}
@@ -164,6 +221,7 @@ func (w *WM) Make(class string, attrs Attrs) *Element {
 	if w.count > w.peak {
 		w.peak = w.count
 	}
+	w.notify(Change{Kind: ChangeMake, El: e})
 	return e
 }
 
@@ -196,20 +254,28 @@ func (w *WM) Modify(e *Element, attrs Attrs) {
 	}
 	w.clock++
 	e.Time = w.clock
+	var changed []string
 	for k, v := range attrs {
-		if old, had := e.lookup(k); had {
+		checkAttrValue(e.Class, k, v)
+		old, had := e.lookup(k)
+		if had {
 			if old == v {
 				continue
 			}
 			w.unindex(e, k, old)
 		}
 		if v == nil {
+			if !had {
+				continue
+			}
 			e.unset(k)
 		} else {
 			e.set(k, v)
 			w.index(e, k, v)
 		}
+		changed = append(changed, k)
 	}
+	w.notify(Change{Kind: ChangeModify, El: e, Attrs: changed})
 }
 
 // Remove deletes an element from working memory.
@@ -229,6 +295,7 @@ func (w *WM) Remove(e *Element) {
 	for _, s := range e.attrs {
 		w.unindex(e, s.key, s.val)
 	}
+	w.notify(Change{Kind: ChangeRemove, El: e})
 }
 
 // Class returns the live elements of a class in creation order. The returned
