@@ -14,22 +14,24 @@
 //	daa -bench gcd -no-cleanup          skip the global-improvement phase
 //	daa -bench gcd -engine-stats        print the production-engine metrics
 //	daa -bench gcd -exhaustive          disable incremental matching
+//	daa -bench gcd -stage-timing        print per-stage pipeline wall time
+//
+// Input problems (unparsable or ill-typed ISPS) are reported with
+// file:line:col positions and a caret under the offending column, and exit
+// with status 2; usage mistakes exit 1; internal failures exit 3.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
-	"repro/internal/alloc"
 	"repro/internal/bench"
 	"repro/internal/core"
-	"repro/internal/cost"
-	"repro/internal/isps"
-	"repro/internal/rtl"
-	"repro/internal/vt"
+	"repro/internal/flow"
 )
 
 // options collects the command-line configuration of one daa invocation.
@@ -46,6 +48,7 @@ type options struct {
 	control     bool
 	verilog     bool
 	flow        bool
+	stageTiming bool
 }
 
 func main() {
@@ -62,10 +65,11 @@ func main() {
 	flag.BoolVar(&o.control, "control", false, "print the derived control-signal table")
 	flag.BoolVar(&o.verilog, "verilog", false, "emit the datapath as structural Verilog and exit")
 	flag.BoolVar(&o.flow, "flow", false, "emit the controller state graph as Graphviz and exit")
+	flag.BoolVar(&o.stageTiming, "stage-timing", false, "print wall time per pipeline stage")
 	flag.Parse()
 	if err := run(os.Stdout, o); err != nil {
-		fmt.Fprintln(os.Stderr, "daa:", err)
-		os.Exit(1)
+		flow.WriteError(os.Stderr, "daa", err)
+		os.Exit(flow.ExitCode(err))
 	}
 }
 
@@ -76,82 +80,111 @@ func run(w io.Writer, o options) error {
 		}
 		return nil
 	}
-	tr, err := loadTrace(o.inFile, o.benchName)
+	in, err := input(o.inFile, o.benchName)
 	if err != nil {
 		return err
 	}
-	if o.verilog || o.flow {
-		o.stats = false // machine-readable outputs suppress the report
-	} else {
+	opt := flow.Options{
+		Allocator: o.allocator,
+		Core:      core.Options{DisableCleanup: o.noCleanup, ExhaustiveMatch: o.exhaustive},
+	}
+	switch o.allocator {
+	case flow.AllocDAA, flow.AllocLeftEdge, flow.AllocNaive:
+	default:
+		return flow.Usagef("unknown allocator %q (want daa, leftedge, or naive)", o.allocator)
+	}
+	machine := o.verilog || o.flow // machine-readable outputs suppress the report
+	if o.trace && !machine {
+		opt.Core.Trace = w
+	}
+	ctx := context.Background()
+	if !machine {
+		// Report the description as loaded, before the DAA's trace rules
+		// refine it in place. Front hits the same artifact cache Compile
+		// uses, so this costs one clone.
+		tr, err := flow.Front(ctx, in)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "value trace: %s\n\n", tr.Stats())
 	}
 
-	var design *rtl.Design
-	switch o.allocator {
-	case "daa":
-		opt := core.Options{DisableCleanup: o.noCleanup, ExhaustiveMatch: o.exhaustive}
-		if o.trace {
-			opt.Trace = w
-		}
-		res, err := core.Synthesize(tr, opt)
-		if err != nil {
-			return err
-		}
-		design = res.Design
+	res, err := flow.Compile(ctx, in, opt)
+	if err != nil {
+		return err
+	}
+	if res.Synth != nil && !machine {
 		if o.stats {
-			fmt.Fprintln(w, "synthesis statistics:")
-			for _, ph := range res.Stats.Phases {
-				fmt.Fprintf(w, "  %-12s rules=%-3d firings=%-5d wm-peak=%-5d matches=%-8d %v\n",
-					ph.Name, ph.Rules, ph.Firings, ph.WMPeak, ph.Engine.MatchCalls, ph.Elapsed.Round(1000*1000))
-			}
-			fmt.Fprintf(w, "  total firings %d in %v (%.0f/sec), %d pattern tests\n\n",
-				res.Stats.TotalFirings, res.Stats.Elapsed.Round(1000*1000),
-				res.Stats.FiringsPerSecond(), res.Stats.TotalMatchCalls)
+			writeStats(w, res.Synth.Stats)
 		}
 		if o.engineStats {
-			writeEngineStats(w, res.Stats, o.exhaustive)
+			writeEngineStats(w, res.Synth.Stats, o.exhaustive)
 		}
-	case "leftedge":
-		design, err = alloc.LeftEdge(tr, alloc.Options{})
-		if err != nil {
-			return err
-		}
-	case "naive":
-		design, err = alloc.Naive(tr, alloc.Options{})
-		if err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("unknown allocator %q (want daa, leftedge, or naive)", o.allocator)
 	}
 
 	if o.verilog {
 		var sb strings.Builder
-		if err := design.WriteVerilog(&sb, design.Name); err != nil {
+		if err := res.Design.WriteVerilog(&sb, res.Design.Name); err != nil {
 			return err
 		}
 		fmt.Fprint(w, sb.String())
 		return nil
 	}
 	if o.flow {
-		return design.WriteControlFlowDot(w)
+		return res.Design.WriteControlFlowDot(w)
 	}
 
-	fmt.Fprint(w, design.Report())
-	if cs, err := design.ControlStats(); err == nil {
+	fmt.Fprint(w, res.Design.Report())
+	if cs, err := res.Design.ControlStats(); err == nil {
 		fmt.Fprintf(w, "  controller: %d states, %d control assertions (widest step %d)\n",
 			cs.States, cs.Signals, cs.MaxSignals)
 	}
-	fmt.Fprintf(w, "\ngate equivalents: %v\n", cost.Default().Design(design))
+	fmt.Fprintf(w, "\ngate equivalents: %v\n", res.Cost)
+	if o.stageTiming {
+		fmt.Fprintln(w)
+		res.Trace.Write(w)
+	}
 	if o.control {
 		fmt.Fprintln(w, "\ncontrol table:")
 		var sb strings.Builder
-		if err := design.WriteControlTable(&sb); err != nil {
+		if err := res.Design.WriteControlTable(&sb); err != nil {
 			return err
 		}
 		fmt.Fprint(w, sb.String())
 	}
 	return nil
+}
+
+// input resolves the -in/-bench flags to a compilation unit. Flag misuse
+// is a usage error (exit 1); an unreadable file is an input problem
+// (exit 2).
+func input(inFile, benchName string) (flow.Input, error) {
+	switch {
+	case inFile != "" && benchName != "":
+		return flow.Input{}, flow.Usagef("use either -in or -bench, not both")
+	case benchName != "":
+		in, err := bench.Input(benchName)
+		if err != nil {
+			return flow.Input{}, flow.Usagef("%v", err)
+		}
+		return in, nil
+	case inFile != "":
+		return flow.FileInput(inFile)
+	default:
+		return flow.Input{}, flow.Usagef("nothing to synthesize: pass -in file.isps or -bench name (see -list)")
+	}
+}
+
+// writeStats prints the per-phase synthesis statistics.
+func writeStats(w io.Writer, stats core.Stats) {
+	fmt.Fprintln(w, "synthesis statistics:")
+	for _, ph := range stats.Phases {
+		fmt.Fprintf(w, "  %-12s rules=%-3d firings=%-5d wm-peak=%-5d matches=%-8d %v\n",
+			ph.Name, ph.Rules, ph.Firings, ph.WMPeak, ph.Engine.MatchCalls, ph.Elapsed.Round(1000*1000))
+	}
+	fmt.Fprintf(w, "  total firings %d in %v (%.0f/sec), %d pattern tests\n\n",
+		stats.TotalFirings, stats.Elapsed.Round(1000*1000),
+		stats.FiringsPerSecond(), stats.TotalMatchCalls)
 }
 
 // writeEngineStats prints the production-engine observability section: the
@@ -174,25 +207,4 @@ func writeEngineStats(w io.Writer, stats core.Stats, exhaustive bool) {
 			r.Name, r.Category, r.Firings, r.Deltas, r.MatchCalls, r.MatchTime.Round(1000))
 	}
 	fmt.Fprintln(w)
-}
-
-func loadTrace(inFile, benchName string) (*vt.Program, error) {
-	switch {
-	case inFile != "" && benchName != "":
-		return nil, fmt.Errorf("use either -in or -bench, not both")
-	case benchName != "":
-		return bench.Load(benchName)
-	case inFile != "":
-		src, err := os.ReadFile(inFile)
-		if err != nil {
-			return nil, err
-		}
-		prog, err := isps.Parse(inFile, string(src))
-		if err != nil {
-			return nil, err
-		}
-		return vt.Build(prog)
-	default:
-		return nil, fmt.Errorf("nothing to synthesize: pass -in file.isps or -bench name (see -list)")
-	}
 }

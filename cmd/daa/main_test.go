@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/flow"
 )
 
 func runQuiet(o options) error { return run(io.Discard, o) }
@@ -92,5 +94,61 @@ func TestRunErrors(t *testing.T) {
 		if err := runQuiet(options{inFile: c.in, benchName: c.bench, allocator: c.alloc}); err == nil {
 			t.Errorf("run(%q,%q,%q): expected error", c.in, c.bench, c.alloc)
 		}
+	}
+}
+
+func TestRunStageTiming(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, options{benchName: "gcd", allocator: "daa", stageTiming: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"stage timing:", "parse", "allocate", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stage-timing output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExitCodes pins the CLI convention: 1 for usage mistakes, 2 for input
+// problems, 3 for internal failures.
+func TestExitCodes(t *testing.T) {
+	usage := []options{
+		{},                                     // nothing to synthesize
+		{inFile: "x", benchName: "y"},          // both inputs
+		{benchName: "gcd", allocator: "bogus"}, // unknown allocator
+		{benchName: "nope", allocator: "daa"},  // unknown benchmark
+	}
+	for i, o := range usage {
+		if got := flow.ExitCode(runQuiet(o)); got != flow.ExitUsage {
+			t.Errorf("case %d: exit %d, want %d (usage)", i, got, flow.ExitUsage)
+		}
+	}
+	if got := flow.ExitCode(runQuiet(options{inFile: "/no/such.isps", allocator: "daa"})); got != flow.ExitDiagnostic {
+		t.Errorf("unreadable file: exit %d, want %d", got, flow.ExitDiagnostic)
+	}
+}
+
+// TestBadSourceGetsCaretDiagnostic compiles an ill-formed file and checks
+// the error renders with a position and a caret under the column.
+func TestBadSourceGetsCaretDiagnostic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.isps")
+	src := "processor X {\n    reg A<7:0>\n    main m {\n        A := NOPE + 1\n    }\n}\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runQuiet(options{inFile: path, allocator: "daa"})
+	if err == nil {
+		t.Fatal("expected a diagnostic")
+	}
+	if got := flow.ExitCode(err); got != flow.ExitDiagnostic {
+		t.Errorf("exit %d, want %d", got, flow.ExitDiagnostic)
+	}
+	var sb strings.Builder
+	flow.WriteError(&sb, "daa", err)
+	out := sb.String()
+	if !strings.Contains(out, "bad.isps:4") || !strings.Contains(out, "^") {
+		t.Errorf("caret diagnostic missing position:\n%s", out)
 	}
 }

@@ -9,46 +9,51 @@
 //	E6 / Table 4   cross-benchmark design quality
 //	E7 (extension) knowledge-ablation study
 //	E8 (engine)    per-rule match cost and conflict-set statistics
+//	STAGES         per-stage pipeline wall time (internal/flow)
 //
 // Usage:
 //
-//	daabench              run everything
-//	daabench -only E2     run one experiment
-//	daabench -bench gcd   use a different benchmark for E2/E3/E4/E8
-//	daabench -json        emit machine-readable per-benchmark results
+//	daabench                 run everything
+//	daabench -only E2        run one experiment
+//	daabench -only stages    print the pipeline stage-timing table
+//	daabench -bench gcd      use a different benchmark for E2/E3/E4/E8/STAGES
+//	daabench -json           emit machine-readable per-benchmark results
 //
 // With -json the tables are replaced by one JSON document with component
-// counts, firings, match calls, and elapsed time per benchmark and phase,
-// for recording the bench trajectory (BENCH_*.json) from CI.
+// counts, firings, match calls, elapsed time, and pipeline stage timings
+// per benchmark and phase, for recording the bench trajectory
+// (BENCH_*.json) from CI. The suite-wide experiments fan out across a
+// bounded worker pool; the output stays byte-deterministic apart from the
+// measured times. Usage mistakes exit 1; internal failures exit 3.
 package main
 
 import (
 	"flag"
-	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/flow"
 )
 
 func main() {
 	var (
-		only      = flag.String("only", "", "run a single experiment: E1..E8")
-		benchName = flag.String("bench", "mcs6502", "benchmark for E2, E3, E4, and E8")
+		only      = flag.String("only", "", "run a single experiment: E1..E8, or 'stages'")
+		benchName = flag.String("bench", "mcs6502", "benchmark for E2, E3, E4, E8, and stages")
 		asJSON    = flag.Bool("json", false, "emit machine-readable per-benchmark results instead of tables")
 	)
 	flag.Parse()
-	if err := run(strings.ToUpper(*only), *benchName, *asJSON); err != nil {
-		fmt.Fprintln(os.Stderr, "daabench:", err)
-		os.Exit(1)
+	if err := run(os.Stdout, strings.ToUpper(*only), *benchName, *asJSON); err != nil {
+		flow.WriteError(os.Stderr, "daabench", err)
+		os.Exit(flow.ExitCode(err))
 	}
 }
 
-func run(only, benchName string, asJSON bool) error {
-	w := os.Stdout
+func run(w io.Writer, only, benchName string, asJSON bool) error {
 	if asJSON {
 		if only != "" {
-			return fmt.Errorf("-json runs the whole suite; drop -only")
+			return flow.Usagef("-json runs the whole suite; drop -only")
 		}
 		return exp.WriteJSON(w)
 	}
@@ -72,7 +77,9 @@ func run(only, benchName string, asJSON bool) error {
 		return exp.RenderE7(w)
 	case "E8", "ENGINE":
 		return exp.RenderEngineMetrics(w, benchName)
+	case "STAGES":
+		return exp.RenderStageTiming(w, benchName)
 	default:
-		return fmt.Errorf("unknown experiment %q (want E1..E8)", only)
+		return flow.Usagef("unknown experiment %q (want E1..E8, or stages)", only)
 	}
 }

@@ -1,29 +1,66 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/flow"
+)
 
 func TestSingleExperiments(t *testing.T) {
-	for _, e := range []string{"E1", "E2", "E3", "E4", "E8"} {
-		if err := run(e, "gcd", false); err != nil {
+	for _, e := range []string{"E1", "E2", "E3", "E4", "E8", "STAGES"} {
+		if err := run(io.Discard, e, "gcd", false); err != nil {
 			t.Fatalf("%s: %v", e, err)
 		}
 	}
 }
 
+func TestStageTimingTable(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "STAGES", "gcd", false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"stage timing", "parse", "allocate", "total", "gcd"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stage-timing table missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
-	if err := run("E9", "gcd", false); err == nil {
-		t.Error("expected error for unknown experiment")
+	err := run(io.Discard, "E9", "gcd", false)
+	if flow.ExitCode(err) != flow.ExitUsage {
+		t.Errorf("unknown experiment: exit %d (%v), want usage", flow.ExitCode(err), err)
 	}
 }
 
 func TestUnknownBenchmark(t *testing.T) {
-	if err := run("E2", "nope", false); err == nil {
+	if err := run(io.Discard, "E2", "nope", false); err == nil {
 		t.Error("expected error for unknown benchmark")
 	}
 }
 
 func TestJSONRejectsOnly(t *testing.T) {
-	if err := run("E2", "gcd", true); err == nil {
-		t.Error("expected error combining -json with -only")
+	err := run(io.Discard, "E2", "gcd", true)
+	if flow.ExitCode(err) != flow.ExitUsage {
+		t.Errorf("-json with -only: exit %d (%v), want usage", flow.ExitCode(err), err)
+	}
+}
+
+func TestJSONOutputShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite synthesis in -short mode")
+	}
+	var sb strings.Builder
+	if err := run(&sb, "", "mcs6502", true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"results"`, `"bench"`, `"phases"`, `"stages"`, `"elapsedMs"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON output missing %q", want)
+		}
 	}
 }

@@ -2,6 +2,10 @@
 // canonical form (gofmt for ISPS). With -check it exits nonzero when the
 // input is not already canonical.
 //
+// Parse and sema problems are reported with file:line:col positions and a
+// caret under the offending column; they, non-canonical -check results,
+// and lint findings exit 2. Usage mistakes exit 1.
+//
 // Usage:
 //
 //	ispsfmt design.isps           # print formatted source
@@ -11,11 +15,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/flow"
 	"repro/internal/isps"
 )
 
@@ -26,51 +33,54 @@ func main() {
 		benchName = flag.String("bench", "", "format an embedded benchmark instead of a file")
 	)
 	flag.Parse()
-	if err := run(flag.Args(), *benchName, *check, *lint); err != nil {
-		fmt.Fprintln(os.Stderr, "ispsfmt:", err)
-		os.Exit(1)
+	if err := run(os.Stdout, flag.Args(), *benchName, *check, *lint); err != nil {
+		flow.WriteError(os.Stderr, "ispsfmt", err)
+		os.Exit(flow.ExitCode(err))
 	}
 }
 
-func run(args []string, benchName string, check, lint bool) error {
-	var name, src string
+func run(w io.Writer, args []string, benchName string, check, lint bool) error {
+	var in flow.Input
 	switch {
 	case benchName != "":
-		s, err := bench.Source(benchName)
+		var err error
+		in, err = bench.Input(benchName)
 		if err != nil {
-			return err
+			return flow.Usagef("%v", err)
 		}
-		name, src = benchName, s
 	case len(args) == 1:
-		b, err := os.ReadFile(args[0])
+		var err error
+		in, err = flow.FileInput(args[0])
 		if err != nil {
 			return err
 		}
-		name, src = args[0], string(b)
 	default:
-		return fmt.Errorf("pass exactly one file, or -bench name")
+		return flow.Usagef("pass exactly one file, or -bench name")
 	}
-	prog, err := isps.Parse(name, src)
+	// The format path parses privately (no artifact cache): formatting
+	// wants the exact tree of this source, and must not pay for a trace
+	// build.
+	prog, err := flow.Parse(context.Background(), in)
 	if err != nil {
 		return err
 	}
 	if lint {
 		ws := isps.Lint(prog)
-		for _, w := range ws {
-			fmt.Println(w)
+		for _, lw := range ws {
+			fmt.Fprintln(w, lw)
 		}
 		if len(ws) > 0 {
-			return fmt.Errorf("%d lint warnings", len(ws))
+			return flow.Diagf("lint", in.Name, "%d lint warnings", len(ws))
 		}
 		return nil
 	}
 	out := isps.Format(prog)
 	if check {
-		if out != src {
-			return fmt.Errorf("%s is not canonically formatted", name)
+		if out != in.Source {
+			return flow.Diagf("format", in.Name, "not canonically formatted (run ispsfmt to rewrite)")
 		}
 		return nil
 	}
-	fmt.Print(out)
+	fmt.Fprint(w, out)
 	return nil
 }

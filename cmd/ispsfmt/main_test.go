@@ -1,17 +1,24 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/flow"
 	"repro/internal/isps"
 )
 
 func TestFormatBench(t *testing.T) {
-	if err := run(nil, "gcd", false, false); err != nil {
+	var sb strings.Builder
+	if err := run(&sb, nil, "gcd", false, false); err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "processor GCD") {
+		t.Errorf("formatted output missing processor header:\n%s", sb.String())
 	}
 }
 
@@ -29,44 +36,70 @@ func TestCheckCanonical(t *testing.T) {
 	if err := os.WriteFile(path, []byte(isps.Format(prog)), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{path}, "", true, false); err != nil {
+	if err := run(io.Discard, []string{path}, "", true, false); err != nil {
 		t.Fatalf("canonical file failed -check: %v", err)
 	}
-	// The raw benchmark source is not canonical (comments, spacing).
+	// The raw benchmark source is not canonical (comments, spacing): a
+	// -check failure is an input diagnostic, exit 2.
 	raw := filepath.Join(dir, "raw.isps")
 	if err := os.WriteFile(raw, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{raw}, "", true, false); err == nil {
-		t.Error("non-canonical file passed -check")
+	err = run(io.Discard, []string{raw}, "", true, false)
+	if flow.ExitCode(err) != flow.ExitDiagnostic {
+		t.Errorf("non-canonical -check: exit %d (%v), want diagnostic", flow.ExitCode(err), err)
 	}
 }
 
 func TestLintFlag(t *testing.T) {
 	// Clean benchmark: exit zero.
-	if err := run(nil, "gcd", false, true); err != nil {
+	if err := run(io.Discard, nil, "gcd", false, true); err != nil {
 		t.Fatalf("clean benchmark failed lint: %v", err)
 	}
-	// Dirty file: nonzero.
+	// Dirty file: lint findings are input diagnostics, exit 2.
 	dir := t.TempDir()
 	path := filepath.Join(dir, "d.isps")
 	src := "processor P { reg A<7:0> reg GHOST main m { A := A } }"
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{path}, "", false, true); err == nil {
-		t.Error("dirty description passed -lint")
+	var sb strings.Builder
+	err := run(&sb, []string{path}, "", false, true)
+	if flow.ExitCode(err) != flow.ExitDiagnostic {
+		t.Errorf("dirty description: exit %d (%v), want diagnostic", flow.ExitCode(err), err)
+	}
+	if sb.String() == "" {
+		t.Error("lint warnings not printed")
 	}
 }
 
 func TestFormatErrors(t *testing.T) {
-	if err := run(nil, "", false, false); err == nil {
-		t.Error("expected error without input")
+	if err := run(io.Discard, nil, "", false, false); flow.ExitCode(err) != flow.ExitUsage {
+		t.Errorf("no input: exit %d, want usage", flow.ExitCode(err))
 	}
-	if err := run(nil, "nope", false, false); err == nil {
-		t.Error("expected error for unknown benchmark")
+	if err := run(io.Discard, nil, "nope", false, false); flow.ExitCode(err) != flow.ExitUsage {
+		t.Errorf("unknown benchmark: exit %d, want usage", flow.ExitCode(err))
 	}
-	if err := run([]string{"/no/such.isps"}, "", false, false); err == nil {
-		t.Error("expected error for missing file")
+	if err := run(io.Discard, []string{"/no/such.isps"}, "", false, false); flow.ExitCode(err) != flow.ExitDiagnostic {
+		t.Errorf("missing file: exit %d, want diagnostic", flow.ExitCode(err))
+	}
+}
+
+// TestParseFailureCaret checks an unparsable file renders a positioned
+// caret diagnostic.
+func TestParseFailureCaret(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.isps")
+	if err := os.WriteFile(path, []byte("processor X {\n    reg A<7:0\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(io.Discard, []string{path}, "", false, false)
+	if flow.ExitCode(err) != flow.ExitDiagnostic {
+		t.Fatalf("exit %d (%v), want diagnostic", flow.ExitCode(err), err)
+	}
+	var sb strings.Builder
+	flow.WriteError(&sb, "ispsfmt", err)
+	if !strings.Contains(sb.String(), "bad.isps:") || !strings.Contains(sb.String(), "^") {
+		t.Errorf("caret diagnostic missing:\n%s", sb.String())
 	}
 }

@@ -1,5 +1,8 @@
 // Command vtdump prints the Value Trace of an ISPS description, either as
-// indented text (default) or as a Graphviz digraph (-dot).
+// indented text (default) or as a Graphviz digraph (-dot). The trace is
+// built through the staged pipeline's front end (internal/flow), so parse
+// and sema problems are reported with file:line:col positions and a caret
+// (exit 2); usage mistakes exit 1.
 //
 // Usage:
 //
@@ -8,13 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/bench"
-	"repro/internal/isps"
-	"repro/internal/vt"
+	"repro/internal/flow"
 )
 
 func main() {
@@ -24,40 +27,37 @@ func main() {
 		dot       = flag.Bool("dot", false, "emit Graphviz instead of text")
 	)
 	flag.Parse()
-	if err := run(*inFile, *benchName, *dot); err != nil {
-		fmt.Fprintln(os.Stderr, "vtdump:", err)
-		os.Exit(1)
+	if err := run(os.Stdout, *inFile, *benchName, *dot); err != nil {
+		flow.WriteError(os.Stderr, "vtdump", err)
+		os.Exit(flow.ExitCode(err))
 	}
 }
 
-func run(inFile, benchName string, dot bool) error {
-	var tr *vt.Program
+func run(w io.Writer, inFile, benchName string, dot bool) error {
+	var in flow.Input
 	var err error
 	switch {
 	case inFile != "" && benchName != "":
-		return fmt.Errorf("use either -in or -bench, not both")
+		return flow.Usagef("use either -in or -bench, not both")
 	case benchName != "":
-		tr, err = bench.Load(benchName)
+		in, err = bench.Input(benchName)
+		if err != nil {
+			return flow.Usagef("%v", err)
+		}
 	case inFile != "":
-		var src []byte
-		src, err = os.ReadFile(inFile)
+		in, err = flow.FileInput(inFile)
 		if err != nil {
 			return err
 		}
-		var prog *isps.Program
-		prog, err = isps.Parse(inFile, string(src))
-		if err != nil {
-			return err
-		}
-		tr, err = vt.Build(prog)
 	default:
-		return fmt.Errorf("pass -in file.isps or -bench name")
+		return flow.Usagef("pass -in file.isps or -bench name")
 	}
+	tr, err := flow.Front(context.Background(), in)
 	if err != nil {
 		return err
 	}
 	if dot {
-		return tr.WriteDot(os.Stdout)
+		return tr.WriteDot(w)
 	}
-	return tr.Dump(os.Stdout)
+	return tr.Dump(w)
 }

@@ -1,16 +1,20 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"repro/internal/flow"
 )
 
 func TestDumpBench(t *testing.T) {
-	if err := run("", "gcd", false); err != nil {
+	if err := run(io.Discard, "", "gcd", false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", "gcd", true); err != nil {
+	if err := run(io.Discard, "", "gcd", true); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -21,19 +25,41 @@ func TestDumpFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("processor X { reg A main m { A := 1 } }"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "", false); err != nil {
+	if err := run(io.Discard, path, "", false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestDumpErrors(t *testing.T) {
-	if err := run("", "", false); err == nil {
-		t.Error("expected error without input")
+	if err := run(io.Discard, "", "", false); flow.ExitCode(err) != flow.ExitUsage {
+		t.Errorf("no input: exit %d, want usage", flow.ExitCode(err))
 	}
-	if err := run("a", "b", false); err == nil {
-		t.Error("expected error with both inputs")
+	if err := run(io.Discard, "a", "b", false); flow.ExitCode(err) != flow.ExitUsage {
+		t.Errorf("both inputs: exit %d, want usage", flow.ExitCode(err))
 	}
-	if err := run("", "nope", false); err == nil {
-		t.Error("expected error for unknown benchmark")
+	if err := run(io.Discard, "", "nope", false); flow.ExitCode(err) != flow.ExitUsage {
+		t.Errorf("unknown benchmark: exit %d, want usage", flow.ExitCode(err))
+	}
+	if err := run(io.Discard, "/no/such.isps", "", false); flow.ExitCode(err) != flow.ExitDiagnostic {
+		t.Errorf("unreadable file: exit %d, want diagnostic", flow.ExitCode(err))
+	}
+}
+
+// TestDumpBadSource checks parse failures surface as positioned caret
+// diagnostics with exit code 2.
+func TestDumpBadSource(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.isps")
+	if err := os.WriteFile(path, []byte("processor X {\n    reg A<7:0\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(io.Discard, path, "", false)
+	if flow.ExitCode(err) != flow.ExitDiagnostic {
+		t.Fatalf("exit %d (%v), want diagnostic", flow.ExitCode(err), err)
+	}
+	var sb strings.Builder
+	flow.WriteError(&sb, "vtdump", err)
+	if !strings.Contains(sb.String(), "bad.isps:") || !strings.Contains(sb.String(), "^") {
+		t.Errorf("caret diagnostic missing:\n%s", sb.String())
 	}
 }

@@ -4,32 +4,31 @@
 // agree. The example finishes by emitting the synthesized datapath as
 // structural Verilog.
 //
+// One flow.Compile run provides both sides: the analyzed AST (res.AST)
+// drives the behavioral interpreter, the synthesized structure
+// (res.Design) drives the register-transfer simulator.
+//
 //	go run ./examples/cosim
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
 
 	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/isps"
+	"repro/internal/flow"
 	"repro/internal/rtlsim"
 	"repro/internal/sim"
-	"repro/internal/vt"
 )
 
 func main() {
-	src, err := bench.Source("mcs6502")
+	in, err := bench.Input("mcs6502")
 	if err != nil {
 		log.Fatal(err)
 	}
-	prog, err := isps.Parse("mcs6502", src)
-	if err != nil {
-		log.Fatal(err)
-	}
-	trace, err := vt.Build(prog)
+	res, err := flow.Compile(context.Background(), in, flow.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,8 +47,8 @@ func main() {
 	}
 	const cycles = 8
 
-	// Reference: the behavioral ISPS interpreter.
-	ref := sim.New(prog)
+	// Reference: the behavioral ISPS interpreter, on the compile's AST.
+	ref := sim.New(res.AST)
 	ref.Load("M", 0x0200, program)
 	ref.Set("PC", 0x0200)
 	ref.Set("S", 0xFF)
@@ -59,10 +58,6 @@ func main() {
 
 	// Device under test: the DAA's synthesized design, executed at the
 	// control-step level.
-	res, err := core.Synthesize(trace, core.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
 	dut, err := rtlsim.New(res.Design)
 	if err != nil {
 		log.Fatal(err)

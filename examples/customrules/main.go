@@ -8,23 +8,26 @@
 //
 // Extension rules see the same working memory as the built-in cleanup
 // rules ("hreg" and "unit" elements) and may also inspect the design under
-// construction through closures.
+// construction through closures. They ride into the pipeline through
+// flow.Options.Core.ExtraRules.
 //
 //	go run ./examples/customrules
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/flow"
 	"repro/internal/prod"
 	"repro/internal/rtl"
 )
 
 func main() {
-	trace, err := bench.Load("am2901")
+	in, err := bench.Input("am2901")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,8 +57,8 @@ func main() {
 		},
 	}
 
-	res, err := core.Synthesize(trace, core.Options{
-		ExtraRules: []*prod.Rule{auditUnits, auditRegs},
+	res, err := flow.Compile(context.Background(), in, flow.Options{
+		Core: core.Options{ExtraRules: []*prod.Rule{auditUnits, auditRegs}},
 	})
 	if err != nil {
 		log.Fatal(err)

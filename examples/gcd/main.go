@@ -3,50 +3,53 @@
 // both comparisons into a single ALU; the example shows the firing trace
 // of the cleanup phase doing it.
 //
+// All three allocators run through flow.Compile; the DAA run threads a
+// trace writer into the production engine through Options.Core.
+//
 //	go run ./examples/gcd
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"strings"
 
-	"repro/internal/alloc"
 	"repro/internal/bench"
 	"repro/internal/core"
-	"repro/internal/cost"
+	"repro/internal/flow"
 	"repro/internal/report"
 )
 
 func main() {
-	trace, err := bench.Load("gcd")
+	in, err := bench.Input("gcd")
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
 	// Capture the rule-firing trace to show the cleanup phase working.
 	var firings strings.Builder
-	daa, err := core.Synthesize(trace, core.Options{Trace: &firings})
+	daa, err := flow.Compile(ctx, in, flow.Options{Core: core.Options{Trace: &firings}})
 	if err != nil {
 		log.Fatal(err)
 	}
-	le, err := alloc.LeftEdge(trace, alloc.Options{})
+	le, err := flow.Compile(ctx, in, flow.Options{Allocator: flow.AllocLeftEdge})
 	if err != nil {
 		log.Fatal(err)
 	}
-	naive, err := alloc.Naive(trace, alloc.Options{})
+	naive, err := flow.Compile(ctx, in, flow.Options{Allocator: flow.AllocNaive})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	model := cost.Default()
 	t := report.New("GCD: three allocators, one behavior",
 		"allocator", "units", "unit fns", "muxes", "links", "gate equiv")
-	dc, lc, nc := daa.Design.Counts(), le.Counts(), naive.Counts()
-	t.Row("daa", dc.Units, dc.UnitFns, dc.Muxes, dc.Links, model.Design(daa.Design).Datapath)
-	t.Row("left-edge", lc.Units, lc.UnitFns, lc.Muxes, lc.Links, model.Design(le).Datapath)
-	t.Row("naive", nc.Units, nc.UnitFns, nc.Muxes, nc.Links, model.Design(naive).Datapath)
+	dc, lc, nc := daa.Design.Counts(), le.Design.Counts(), naive.Design.Counts()
+	t.Row("daa", dc.Units, dc.UnitFns, dc.Muxes, dc.Links, daa.Cost.Datapath)
+	t.Row("left-edge", lc.Units, lc.UnitFns, lc.Muxes, lc.Links, le.Cost.Datapath)
+	t.Row("naive", nc.Units, nc.UnitFns, nc.Muxes, nc.Links, naive.Cost.Datapath)
 	t.Render(os.Stdout)
 
 	fmt.Println("the DAA's datapath (note the single shared ALU):")

@@ -1,17 +1,18 @@
-// Quickstart: parse an ISPS description, build its Value Trace, run the
-// DAA, and print the resulting register-transfer design.
+// Quickstart: compile an ISPS description through the staged pipeline —
+// parse → sema → build (Value Trace) → allocate (the DAA) → validate →
+// cost — and print the resulting register-transfer design, with the
+// per-stage wall time the pipeline recorded.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
-	"repro/internal/core"
-	"repro/internal/cost"
-	"repro/internal/isps"
-	"repro/internal/vt"
+	"repro/internal/flow"
 )
 
 // A minimal accumulator machine: one register, one adder, one decision.
@@ -32,27 +33,23 @@ processor ACCUM {
 }`
 
 func main() {
-	// 1. Parse and analyze the behavioral description.
-	prog, err := isps.Parse("accum.isps", src)
+	// One call runs the whole pipeline. Input errors would come back as a
+	// flow.DiagnosticList with file:line:col positions.
+	res, err := flow.Compile(context.Background(),
+		flow.Input{Name: "accum.isps", Source: src}, flow.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 2. Lower it to the Value Trace, the DAA's input representation.
-	trace, err := vt.Build(prog)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("value trace: %s\n\n", trace.Stats())
-
-	// 3. Run the knowledge-based allocator.
-	res, err := core.Synthesize(trace, core.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// 4. Inspect the synthesized structure.
+	// The result carries every intermediate: the analyzed AST (res.AST),
+	// the Value Trace the allocator consumed (res.VT), the synthesized
+	// structure, and the gate-equivalent cost.
+	fmt.Printf("value trace: %s\n\n", res.VT.Stats())
 	fmt.Print(res.Design.Report())
-	fmt.Printf("\ngate equivalents: %v\n", cost.Default().Design(res.Design))
-	fmt.Printf("rules fired: %d in %v\n", res.Stats.TotalFirings, res.Stats.Elapsed.Round(1000*1000))
+	fmt.Printf("\ngate equivalents: %v\n", res.Cost)
+	fmt.Printf("rules fired: %d in %v\n\n",
+		res.Synth.Stats.TotalFirings, res.Synth.Stats.Elapsed.Round(1000*1000))
+
+	// Where the compile spent its time (daa -stage-timing prints the same).
+	res.Trace.Write(os.Stdout)
 }

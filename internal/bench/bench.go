@@ -7,10 +7,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
-	"repro/internal/isps"
+	"repro/internal/flow"
 	"repro/internal/vt"
 )
 
@@ -45,24 +46,31 @@ func Source(name string) (string, error) {
 	return src, nil
 }
 
-// Load parses a benchmark and builds its validated value trace.
+// Load builds a benchmark's validated value trace through the flow
+// pipeline's front end. The parse+sema+build work is memoized in the
+// flow artifact cache; every call returns a fresh private clone, so
+// callers may hand the trace to the DAA (which refines it in place)
+// without affecting later loads.
 func Load(name string) (*vt.Program, error) {
-	src, err := Source(name)
+	in, err := Input(name)
 	if err != nil {
 		return nil, err
 	}
-	prog, err := isps.Parse(name+".isps", src)
+	trace, err := flow.Front(context.Background(), in)
 	if err != nil {
-		return nil, fmt.Errorf("bench: %s: %w", name, err)
-	}
-	trace, err := vt.Build(prog)
-	if err != nil {
-		return nil, fmt.Errorf("bench: %s: %w", name, err)
-	}
-	if err := trace.Validate(); err != nil {
 		return nil, fmt.Errorf("bench: %s: %w", name, err)
 	}
 	return trace, nil
+}
+
+// Input returns the benchmark as a flow.Input, for callers that run the
+// full pipeline themselves.
+func Input(name string) (flow.Input, error) {
+	src, err := Source(name)
+	if err != nil {
+		return flow.Input{}, err
+	}
+	return flow.Input{Name: name + ".isps", Source: src}, nil
 }
 
 // GCD is Euclid's algorithm by repeated subtraction — the smallest

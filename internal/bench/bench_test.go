@@ -1,8 +1,10 @@
 package bench
 
 import (
+	"context"
 	"testing"
 
+	"repro/internal/flow"
 	"repro/internal/isps"
 	"repro/internal/vt"
 )
@@ -138,12 +140,13 @@ func TestBenchmarksFormatRoundTrip(t *testing.T) {
 			if isps.Format(re) != out {
 				t.Fatal("formatting not idempotent")
 			}
-			// The formatted source builds an equivalent trace.
-			tr1, err := vt.Build(prog)
+			// The formatted source builds an equivalent trace (both sides
+			// loaded through the pipeline front end).
+			tr1, err := flow.Front(context.Background(), flow.Input{Name: name, Source: src})
 			if err != nil {
 				t.Fatal(err)
 			}
-			tr2, err := vt.Build(re)
+			tr2, err := flow.Front(context.Background(), flow.Input{Name: name + ".fmt", Source: out})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/prod"
+)
+
+// TestSynthesizeExpiredContext runs the paper's case study under an
+// already-expired deadline: synthesis must stop cleanly with the context's
+// error and return no partial design.
+func TestSynthesizeExpiredContext(t *testing.T) {
+	tr, err := bench.Load("mcs6502")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Minute))
+	defer cancel()
+	res, err := core.SynthesizeContext(ctx, tr, core.Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err %v, want context.DeadlineExceeded", err)
+	}
+	if res != nil {
+		t.Fatal("partial design returned after deadline")
+	}
+}
+
+// TestSynthesizeCancelledBetweenEngineCycles cancels the context from a
+// rule action mid-phase: the production engine polls the context between
+// recognize-act cycles, so the run must end with context.Canceled rather
+// than running the rule set to quiescence.
+func TestSynthesizeCancelledBetweenEngineCycles(t *testing.T) {
+	tr, err := bench.Load("gcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fired := false
+	trip := &prod.Rule{
+		Name:     "cancel-mid-cleanup",
+		Category: "cleanup",
+		Patterns: []prod.Pattern{prod.P("unit")},
+		Action: func(e *prod.Engine, m *prod.Match) {
+			fired = true
+			cancel()
+		},
+	}
+	res, err := core.SynthesizeContext(ctx, tr, core.Options{ExtraRules: []*prod.Rule{trip}})
+	if !fired {
+		t.Fatal("cancel rule never fired; test exercises nothing")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("partial design returned after cancellation")
+	}
+}

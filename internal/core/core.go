@@ -22,6 +22,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -109,6 +110,15 @@ type Result struct {
 // Synthesize runs the DAA on a value trace and returns the validated
 // register-transfer design.
 func Synthesize(trace *vt.Program, opt Options) (*Result, error) {
+	return SynthesizeContext(context.Background(), trace, opt)
+}
+
+// SynthesizeContext is Synthesize under a context: cancellation and
+// deadline are checked between synthesis phases and, through the engine's
+// Interrupt hook, between production-engine cycles, so even a hung or
+// runaway rule set returns promptly with the context's error and no
+// partial design.
+func SynthesizeContext(ctx context.Context, trace *vt.Program, opt Options) (*Result, error) {
 	s := newSynth(trace, opt)
 	phases := []struct {
 		name  string
@@ -133,9 +143,15 @@ func Synthesize(trace *vt.Program, opt Options) (*Result, error) {
 		if ph.name == "trace" && opt.DisableTraceRules {
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: phase %s: %w", ph.name, err)
+		}
 		t0 := time.Now()
 		wm := prod.NewWM()
 		eng := prod.NewEngine(wm)
+		if ctx.Done() != nil {
+			eng.Interrupt = ctx.Err
+		}
 		eng.TraceWriter = opt.Trace
 		eng.Exhaustive = opt.ExhaustiveMatch
 		eng.CrossCheck = opt.CrossCheckMatch

@@ -1,4 +1,4 @@
-package core
+package core_test
 
 import (
 	"bytes"
@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 )
 
 // TestFiringTraceEquivalence asserts the incremental matcher reproduces
@@ -24,7 +25,7 @@ func TestFiringTraceEquivalence(t *testing.T) {
 					t.Fatal(err)
 				}
 				var buf bytes.Buffer
-				if _, err := Synthesize(tr, Options{Trace: &buf, ExhaustiveMatch: exhaustive}); err != nil {
+				if _, err := core.Synthesize(tr, core.Options{Trace: &buf, ExhaustiveMatch: exhaustive}); err != nil {
 					t.Fatal(err)
 				}
 				return buf.String()
@@ -51,7 +52,7 @@ func TestCrossCheckAllBenchmarks(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := Synthesize(tr, Options{CrossCheckMatch: true})
+			res, err := core.Synthesize(tr, core.Options{CrossCheckMatch: true})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -2,9 +2,18 @@
 // and figure of the reconstructed evaluation (see DESIGN.md §per-experiment
 // index). Each experiment has a data-producing function, used by the tests
 // and benchmarks, and a rendering function used by cmd/daabench.
+//
+// Every experiment compiles through the staged pipeline (internal/flow):
+// the front end of each benchmark is parsed and built once in the flow
+// artifact cache and every synthesis runs on a private vt.Clone, and the
+// suite-wide experiments (E5, E6, E7, the JSON results) fan their
+// independent compilations out across a bounded worker pool. Rendered
+// tables remain byte-deterministic: results are collected by benchmark
+// index, never by completion order.
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -13,11 +22,22 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/flow"
 	"repro/internal/prod"
 	"repro/internal/report"
 	"repro/internal/rtl"
 	"repro/internal/vt"
 )
+
+// compileBench runs a benchmark through the full pipeline with the DAA (or
+// whatever opt selects), using the shared artifact cache.
+func compileBench(ctx context.Context, name string, opt flow.Options) (*flow.Result, error) {
+	in, err := bench.Input(name)
+	if err != nil {
+		return nil, err
+	}
+	return flow.Compile(ctx, in, opt)
+}
 
 // E1Row is one knowledge-base category (phase) of Table 1.
 type E1Row struct {
@@ -75,33 +95,23 @@ type E2Row struct {
 	Cost      cost.Breakdown
 }
 
-// Allocators runs the DAA and both baselines, each on its own freshly
-// loaded trace: the DAA's trace-refinement rules rewrite the trace in
-// place (part of its knowledge advantage), so the baselines must see the
-// unrefined description, as the paper's comparators did.
-func Allocators(load func() (*vt.Program, error)) ([]E2Row, error) {
+// Allocators runs the DAA and both baselines on a loaded trace. Each
+// allocator gets its own vt.Clone: the DAA's trace-refinement rules
+// rewrite the trace in place (part of its knowledge advantage), so the
+// baselines must see the unrefined description, as the paper's
+// comparators did — and the caller's trace is never touched, so one
+// cached front-end build serves all three runs.
+func Allocators(tr *vt.Program) ([]E2Row, error) {
 	model := cost.Default()
-	trDaa, err := load()
-	if err != nil {
-		return nil, err
-	}
-	daa, err := core.Synthesize(trDaa, core.Options{})
+	daa, err := core.Synthesize(vt.Clone(tr), core.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("daa: %w", err)
 	}
-	trLe, err := load()
-	if err != nil {
-		return nil, err
-	}
-	le, err := alloc.LeftEdge(trLe, alloc.Options{})
+	le, err := alloc.LeftEdge(vt.Clone(tr), alloc.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("left-edge: %w", err)
 	}
-	trNv, err := load()
-	if err != nil {
-		return nil, err
-	}
-	nv, err := alloc.Naive(trNv, alloc.Options{})
+	nv, err := alloc.Naive(vt.Clone(tr), alloc.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("naive: %w", err)
 	}
@@ -114,7 +124,11 @@ func Allocators(load func() (*vt.Program, error)) ([]E2Row, error) {
 
 // E2 runs the allocator comparison on one benchmark.
 func E2(benchName string) ([]E2Row, error) {
-	return Allocators(func() (*vt.Program, error) { return bench.Load(benchName) })
+	tr, err := bench.Load(benchName)
+	if err != nil {
+		return nil, err
+	}
+	return Allocators(tr)
 }
 
 // RenderE2 prints Table 2 for a benchmark.
@@ -143,19 +157,25 @@ type E3Data struct {
 	Bench   string
 	TraceOp int
 	Stats   core.Stats
+	Flow    flow.Trace // per-stage pipeline timing of the run
 }
 
 // E3 runs the DAA and collects the per-phase statistics.
 func E3(benchName string) (*E3Data, error) {
-	tr, err := bench.Load(benchName)
+	return e3(context.Background(), benchName)
+}
+
+func e3(ctx context.Context, benchName string) (*E3Data, error) {
+	res, err := compileBench(ctx, benchName, flow.Options{})
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Synthesize(tr, core.Options{})
-	if err != nil {
-		return nil, err
-	}
-	return &E3Data{Bench: benchName, TraceOp: tr.OpCount(), Stats: res.Stats}, nil
+	return &E3Data{
+		Bench:   benchName,
+		TraceOp: res.VT.OpCount(),
+		Stats:   res.Synth.Stats,
+		Flow:    res.Trace,
+	}, nil
 }
 
 // RenderE3 prints Table 3, including the engine-metrics columns from the
@@ -245,16 +265,12 @@ type E4Point struct {
 
 // E4 captures the design after every DAA phase.
 func E4(benchName string) ([]E4Point, error) {
-	tr, err := bench.Load(benchName)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.Synthesize(tr, core.Options{})
+	res, err := compileBench(context.Background(), benchName, flow.Options{})
 	if err != nil {
 		return nil, err
 	}
 	var pts []E4Point
-	for _, ph := range res.Stats.Phases {
+	for _, ph := range res.Synth.Stats.Phases {
 		pts = append(pts, E4Point{Phase: ph.Name, Counts: ph.Counts})
 	}
 	return pts, nil
@@ -293,13 +309,16 @@ type E5Point struct {
 }
 
 // E5 measures rules fired and time against description size across the
-// whole benchmark suite.
+// whole benchmark suite. The nine syntheses are independent, so they run
+// across the flow worker pool; results land by benchmark index and are
+// then sorted by size (name-tiebroken), keeping the table deterministic.
 func E5() ([]E5Point, error) {
-	var pts []E5Point
-	for _, name := range bench.Names() {
-		d, err := E3(name)
+	names := bench.Names()
+	pts := make([]E5Point, len(names))
+	err := flow.RunAll(context.Background(), len(names), func(ctx context.Context, i int) error {
+		d, err := e3(ctx, names[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		peak := 0
 		for _, ph := range d.Stats.Phases {
@@ -307,15 +326,24 @@ func E5() ([]E5Point, error) {
 				peak = ph.WMPeak
 			}
 		}
-		pts = append(pts, E5Point{
-			Bench:    name,
+		pts[i] = E5Point{
+			Bench:    names[i],
 			Ops:      d.TraceOp,
 			Firings:  d.Stats.TotalFirings,
 			WMPeak:   peak,
 			ElapsedS: d.Stats.Elapsed.Seconds(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(pts, func(i, j int) bool { return pts[i].Ops < pts[j].Ops })
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Ops != pts[j].Ops {
+			return pts[i].Ops < pts[j].Ops
+		}
+		return pts[i].Bench < pts[j].Bench
+	})
 	return pts, nil
 }
 
@@ -348,15 +376,22 @@ type E6Row struct {
 	Rows  []E2Row
 }
 
-// E6 runs all three allocators on every benchmark.
+// E6 runs all three allocators on every benchmark, fanning the
+// benchmarks out across the flow worker pool. Output order is fixed by
+// bench.Names, not completion order.
 func E6() ([]E6Row, error) {
-	var out []E6Row
-	for _, name := range bench.Names() {
-		rows, err := E2(name)
+	names := bench.Names()
+	out := make([]E6Row, len(names))
+	err := flow.RunAll(context.Background(), len(names), func(ctx context.Context, i int) error {
+		rows, err := E2(names[i])
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
+			return fmt.Errorf("%s: %w", names[i], err)
 		}
-		out = append(out, E6Row{Bench: name, Rows: rows})
+		out[i] = E6Row{Bench: names[i], Rows: rows}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -376,6 +411,54 @@ func RenderE6(w io.Writer) error {
 		t.Row(r.Bench, daa, le, nv, nv/daa, le/daa)
 	}
 	t.Note("shape target: daa <= left-edge <= naive on every benchmark.")
+	t.Render(w)
+	return nil
+}
+
+// RenderStageTiming compiles each named benchmark (the whole suite when
+// none are named) and prints the wall time the staged pipeline spent per
+// stage. Front-end stages served from the artifact cache are starred.
+func RenderStageTiming(w io.Writer, names ...string) error {
+	if len(names) == 0 {
+		names = bench.Names()
+	}
+	results := make([]*flow.Result, len(names))
+	err := flow.RunAll(context.Background(), len(names), func(ctx context.Context, i int) error {
+		res, err := compileBench(ctx, names[i], flow.Options{})
+		if err != nil {
+			return fmt.Errorf("%s: %w", names[i], err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	t := report.New("stage timing — pipeline wall time per stage (ms)",
+		"benchmark", "parse", "sema", "build", "allocate", "validate", "cost", "total")
+	starred := false
+	for i, res := range results {
+		cells := []interface{}{names[i]}
+		for _, stage := range []string{flow.StageParse, flow.StageSema, flow.StageBuild,
+			flow.StageAllocate, flow.StageValidate, flow.StageCost} {
+			st, ok := res.Trace.Stage(stage)
+			if !ok {
+				cells = append(cells, "-")
+				continue
+			}
+			cell := fmt.Sprintf("%.3f", float64(st.Elapsed.Microseconds())/1000)
+			if st.Cached {
+				cell += "*"
+				starred = true
+			}
+			cells = append(cells, cell)
+		}
+		cells = append(cells, fmt.Sprintf("%.3f", float64(res.Trace.Total.Microseconds())/1000))
+		t.Row(cells...)
+	}
+	if starred {
+		t.Note("* stage served from the content-hash artifact cache (front end built once per source).")
+	}
 	t.Render(w)
 	return nil
 }
@@ -402,6 +485,9 @@ func All(w io.Writer) error {
 	if err := RenderE7(w); err != nil {
 		return err
 	}
+	if err := RenderStageTiming(w); err != nil {
+		return err
+	}
 	return RenderEngineMetrics(w, "mcs6502")
 }
 
@@ -417,40 +503,41 @@ type E7Row struct {
 	NoEither  float64
 }
 
-// E7 runs the ablation across the benchmark suite.
+// E7 runs the ablation across the benchmark suite: 4 knowledge variants
+// x 9 benchmarks = 36 independent syntheses, flattened onto the flow
+// worker pool. Each synthesis compiles through the cached front end and
+// lands in its (benchmark, variant) slot, so the table is deterministic
+// regardless of scheduling.
 func E7() ([]E7Row, error) {
-	model := cost.Default()
 	variants := []core.Options{
 		{},
 		{DisableTraceRules: true},
 		{DisableCleanup: true},
 		{DisableTraceRules: true, DisableCleanup: true},
 	}
-	var out []E7Row
-	for _, name := range bench.Names() {
-		row := E7Row{Bench: name}
-		for i, opt := range variants {
-			tr, err := bench.Load(name)
-			if err != nil {
-				return nil, err
-			}
-			res, err := core.Synthesize(tr, opt)
-			if err != nil {
-				return nil, fmt.Errorf("%s variant %d: %w", name, i, err)
-			}
-			cost := model.Design(res.Design).Datapath
-			switch i {
-			case 0:
-				row.Full = cost
-			case 1:
-				row.NoTrace = cost
-			case 2:
-				row.NoCleanup = cost
-			case 3:
-				row.NoEither = cost
-			}
+	names := bench.Names()
+	out := make([]E7Row, len(names))
+	costs := make([][4]float64, len(names))
+	err := flow.RunAll(context.Background(), len(names)*len(variants), func(ctx context.Context, idx int) error {
+		b, v := idx/len(variants), idx%len(variants)
+		res, err := compileBench(ctx, names[b], flow.Options{Core: variants[v]})
+		if err != nil {
+			return fmt.Errorf("%s variant %d: %w", names[b], v, err)
 		}
-		out = append(out, row)
+		costs[b][v] = res.Cost.Datapath
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for b, name := range names {
+		out[b] = E7Row{
+			Bench:     name,
+			Full:      costs[b][0],
+			NoTrace:   costs[b][1],
+			NoCleanup: costs[b][2],
+			NoEither:  costs[b][3],
+		}
 	}
 	return out, nil
 }

@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 
 	"repro/internal/bench"
+	"repro/internal/flow"
 	"repro/internal/rtl"
 )
 
@@ -22,6 +24,16 @@ type JSONPhase struct {
 	ElapsedMS  float64 `json:"elapsedMs"`
 }
 
+// JSONStage is one pipeline stage of a JSONResult: where the compile
+// spent its wall time, and whether the stage was served from the flow
+// artifact cache.
+type JSONStage struct {
+	Name      string  `json:"name"`
+	ElapsedMS float64 `json:"elapsedMs"`
+	Cached    bool    `json:"cached,omitempty"`
+	Note      string  `json:"note,omitempty"`
+}
+
 // JSONResult is the machine-readable synthesis record for one benchmark:
 // the component counts and the engine cost figures whose trajectory CI
 // tracks across commits (BENCH_*.json).
@@ -33,16 +45,19 @@ type JSONResult struct {
 	MatchCalls int         `json:"matchCalls"`
 	ElapsedMS  float64     `json:"elapsedMs"`
 	Phases     []JSONPhase `json:"phases"`
+	Stages     []JSONStage `json:"stages"`
 }
 
-// JSONResults synthesizes every embedded benchmark and collects one
-// JSONResult each, in bench.Names order.
+// JSONResults synthesizes every embedded benchmark — in parallel across
+// the flow worker pool — and collects one JSONResult each, in bench.Names
+// order regardless of completion order.
 func JSONResults() ([]JSONResult, error) {
-	var out []JSONResult
-	for _, name := range bench.Names() {
-		d, err := E3(name)
+	names := bench.Names()
+	out := make([]JSONResult, len(names))
+	err := flow.RunAll(context.Background(), len(names), func(ctx context.Context, i int) error {
+		d, err := e3(ctx, names[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r := JSONResult{
 			Bench:      d.Bench,
@@ -66,7 +81,19 @@ func JSONResults() ([]JSONResult, error) {
 				ElapsedMS:  float64(ph.Elapsed.Microseconds()) / 1000,
 			})
 		}
-		out = append(out, r)
+		for _, st := range d.Flow.Stages {
+			r.Stages = append(r.Stages, JSONStage{
+				Name:      st.Stage,
+				ElapsedMS: float64(st.Elapsed.Microseconds()) / 1000,
+				Cached:    st.Cached,
+				Note:      st.Note,
+			})
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,157 @@
+package flow
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/isps"
+	"repro/internal/vt"
+)
+
+// The artifact cache memoizes the front half of the pipeline (parse +
+// sema + trace build/validation) keyed by a content hash of the input, so
+// compiling the same source repeatedly — the experiment harness loads the
+// MCS6502 nine-plus times across E2–E8 — pays for the front end once.
+//
+// The cached value trace is pristine: it is never handed to a caller
+// directly, only as a vt.Clone, because the DAA's trace-refinement rules
+// rewrite their input in place. The cached AST is shared (the back end
+// never mutates it); callers must treat it as read-only.
+
+// frontArtifact is one memoized front-end run.
+type frontArtifact struct {
+	ast    *isps.Program
+	trace  *vt.Program // pristine master copy; hand out clones only
+	stages []StageInfo // parse/sema/build timings of the original run
+}
+
+// frontEntry is the cache slot: the once gate makes concurrent compilations
+// of the same source (RunAll fan-out) build the artifact exactly once.
+type frontEntry struct {
+	once sync.Once
+	art  *frontArtifact
+	err  error
+}
+
+var (
+	frontCache sync.Map // [sha256.Size]byte -> *frontEntry
+	frontCount atomic.Int64
+)
+
+// frontCacheMax bounds the cache; inputs past the bound compile privately.
+// The working set is the embedded benchmark suite plus a handful of user
+// files, so the bound exists only to keep adversarial workloads (fuzzing,
+// bulk one-shot compiles) from accumulating memory.
+const frontCacheMax = 256
+
+func frontKey(in Input) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte(in.Name))
+	h.Write([]byte{0})
+	h.Write([]byte(in.Source))
+	var k [sha256.Size]byte
+	copy(k[:], h.Sum(nil))
+	return k
+}
+
+// frontStages returns the analyzed AST, a private clone of the validated
+// value trace, and the front-stage timing records, building or reusing the
+// cached artifact.
+func frontStages(in Input, useCache bool) (*isps.Program, *vt.Program, []StageInfo, error) {
+	if !useCache {
+		art, err := buildFront(in)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		// Uncached artifacts are private: no clone needed.
+		return art.ast, art.trace, art.stages, nil
+	}
+	key := frontKey(in)
+	var e *frontEntry
+	if v, ok := frontCache.Load(key); ok {
+		e = v.(*frontEntry)
+	} else if frontCount.Load() >= frontCacheMax {
+		return frontStages(in, false)
+	} else {
+		v, loaded := frontCache.LoadOrStore(key, &frontEntry{})
+		e = v.(*frontEntry)
+		if !loaded {
+			frontCount.Add(1)
+		}
+	}
+	built := false
+	e.once.Do(func() {
+		built = true
+		e.art, e.err = buildFront(in)
+	})
+	if e.err != nil {
+		return nil, nil, nil, e.err
+	}
+	t0 := time.Now()
+	clone := vt.Clone(e.art.trace)
+	cloneD := time.Since(t0)
+	if built {
+		// This call paid for the real front end; report its timings, with
+		// the clone attributed to the build stage.
+		stages := append([]StageInfo(nil), e.art.stages...)
+		stages[len(stages)-1].Elapsed += cloneD
+		return e.art.ast, clone, stages, nil
+	}
+	stages := []StageInfo{
+		{Stage: StageParse, Cached: true},
+		{Stage: StageSema, Cached: true},
+		{Stage: StageBuild, Elapsed: cloneD, Cached: true, Note: "clone of cached artifact"},
+	}
+	return e.art.ast, clone, stages, nil
+}
+
+// buildFront runs parse → sema → build → validate without the cache.
+func buildFront(in Input) (*frontArtifact, error) {
+	art := &frontArtifact{}
+
+	t0 := time.Now()
+	ast, err := isps.ParseOnly(in.Name, in.Source)
+	if err != nil {
+		return nil, Diagnose(StageParse, in, err)
+	}
+	art.stages = append(art.stages, StageInfo{
+		Stage: StageParse, Elapsed: time.Since(t0),
+		Note: fmt.Sprintf("%d bytes", len(in.Source)),
+	})
+
+	t0 = time.Now()
+	if err := isps.Analyze(ast); err != nil {
+		return nil, Diagnose(StageSema, in, err)
+	}
+	art.stages = append(art.stages, StageInfo{Stage: StageSema, Elapsed: time.Since(t0)})
+
+	t0 = time.Now()
+	trace, err := vt.Build(ast)
+	if err != nil {
+		return nil, Diagnose(StageBuild, in, err)
+	}
+	if err := trace.Validate(); err != nil {
+		return nil, Diagnose(StageBuild, in, err)
+	}
+	st := trace.Stats()
+	art.stages = append(art.stages, StageInfo{
+		Stage: StageBuild, Elapsed: time.Since(t0),
+		Note: fmt.Sprintf("%d ops, %d bodies, %d carriers", st.Ops, st.Bodies, st.Carriers),
+	})
+
+	art.ast, art.trace = ast, trace
+	return art, nil
+}
+
+// ResetCache drops every cached front-end artifact (tests and
+// memory-sensitive batch runs).
+func ResetCache() {
+	frontCache.Range(func(k, _ any) bool {
+		frontCache.Delete(k)
+		return true
+	})
+	frontCount.Store(0)
+}

@@ -1,0 +1,174 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"strings"
+
+	"repro/internal/isps"
+)
+
+// Diagnostic is a positioned compile-pipeline error: which stage rejected
+// the input, where in the source, and why. Front-end (parse/sema) errors
+// carry exact line/column positions from internal/isps; value-trace and
+// register-transfer validation failures are reported at file level under
+// their stage name.
+type Diagnostic struct {
+	Stage   string   // pipeline stage that produced it (StageParse, ...)
+	Pos     isps.Pos // Pos.Line == 0 means no source position
+	Msg     string
+	SrcLine string // text of the offending source line, for caret rendering
+}
+
+func (d *Diagnostic) Error() string {
+	if d.Pos.Line > 0 {
+		return fmt.Sprintf("%s: %s", d.Pos, d.Msg)
+	}
+	if d.Pos.File != "" {
+		return fmt.Sprintf("%s: %s: %s", d.Pos.File, d.Stage, d.Msg)
+	}
+	return fmt.Sprintf("%s: %s", d.Stage, d.Msg)
+}
+
+// WriteSource writes the diagnostic's source line with a caret under the
+// offending column, the way the CLIs present input errors:
+//
+//	mcs6502.isps:12:14: unknown carrier "FOO"
+//	        X := FOO + 1
+//	             ^
+func (d *Diagnostic) WriteSource(w io.Writer) {
+	if d.SrcLine == "" || d.Pos.Col <= 0 {
+		return
+	}
+	fmt.Fprintf(w, "    %s\n", d.SrcLine)
+	var pad strings.Builder
+	for i := 0; i < d.Pos.Col-1 && i < len(d.SrcLine); i++ {
+		// Keep tabs so the caret lines up under tabbed source.
+		if d.SrcLine[i] == '\t' {
+			pad.WriteByte('\t')
+		} else {
+			pad.WriteByte(' ')
+		}
+	}
+	fmt.Fprintf(w, "    %s^\n", pad.String())
+}
+
+// DiagnosticList is the error type Compile and its stage helpers return for
+// input problems; it collects every diagnostic a stage produced.
+type DiagnosticList []*Diagnostic
+
+func (l DiagnosticList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no diagnostics"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0].Error(), len(l)-1)
+}
+
+// Diagf builds a single-entry DiagnosticList with a file-level position.
+func Diagf(stage, file, format string, args ...any) DiagnosticList {
+	return DiagnosticList{{
+		Stage: stage,
+		Pos:   isps.Pos{File: file},
+		Msg:   fmt.Sprintf(format, args...),
+	}}
+}
+
+// Diagnose wraps a stage error into a DiagnosticList, threading up the
+// file/line/column positions of front-end errors and attaching the source
+// lines they point at. Context cancellation errors pass through unwrapped
+// so errors.Is(err, context.Canceled/DeadlineExceeded) keeps working.
+func Diagnose(stage string, in Input, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	srcLine := func(n int) string {
+		if n <= 0 {
+			return ""
+		}
+		lines := strings.Split(in.Source, "\n")
+		if n > len(lines) {
+			return ""
+		}
+		return strings.TrimRight(lines[n-1], "\r")
+	}
+	var out DiagnosticList
+	var list isps.ErrorList
+	var single *isps.Error
+	switch {
+	case errors.As(err, &list):
+		for _, e := range list {
+			out = append(out, &Diagnostic{Stage: stage, Pos: e.Pos, Msg: e.Msg, SrcLine: srcLine(e.Pos.Line)})
+		}
+	case errors.As(err, &single):
+		out = DiagnosticList{{Stage: stage, Pos: single.Pos, Msg: single.Msg, SrcLine: srcLine(single.Pos.Line)}}
+	default:
+		out = DiagnosticList{{Stage: stage, Pos: isps.Pos{File: in.Name}, Msg: err.Error()}}
+	}
+	return out
+}
+
+// Exit codes shared by the command-line tools.
+const (
+	ExitUsage      = 1 // bad flags or arguments
+	ExitDiagnostic = 2 // the input was read but rejected (positioned diagnostics)
+	ExitInternal   = 3 // everything else
+)
+
+// usageError marks a command-line usage problem (exit code 1).
+type usageError struct{ msg string }
+
+func (e *usageError) Error() string { return e.msg }
+
+// Usagef builds a usage error: wrong flags, unknown benchmark or allocator
+// names, missing arguments. The CLIs exit 1 on it.
+func Usagef(format string, args ...any) error {
+	return &usageError{msg: fmt.Sprintf(format, args...)}
+}
+
+// IsUsage reports whether err is (or wraps) a usage error.
+func IsUsage(err error) bool {
+	var u *usageError
+	return errors.As(err, &u)
+}
+
+// ExitCode maps an error to the shared CLI exit-code convention:
+// 1 for usage errors, 2 for input diagnostics (including unreadable input
+// files), 3 for internal errors, 0 for nil.
+func ExitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	if IsUsage(err) {
+		return ExitUsage
+	}
+	var dl DiagnosticList
+	var pe *fs.PathError
+	if errors.As(err, &dl) || errors.As(err, &pe) {
+		return ExitDiagnostic
+	}
+	return ExitInternal
+}
+
+// WriteError reports err on w the way the CLIs present failures: positioned
+// diagnostics print one block per entry with the source line and a caret
+// under the column; other errors print as "tool: err".
+func WriteError(w io.Writer, tool string, err error) {
+	var dl DiagnosticList
+	if !errors.As(err, &dl) {
+		fmt.Fprintf(w, "%s: %v\n", tool, err)
+		return
+	}
+	for _, d := range dl {
+		fmt.Fprintf(w, "%s: %s\n", tool, d.Error())
+		d.WriteSource(w)
+	}
+}

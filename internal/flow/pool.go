@@ -1,0 +1,70 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// RunAll invokes fn(ctx, i) for every i in [0, n) across a bounded worker
+// pool and waits for all of them. The first error by index is returned and
+// cancels the context handed to the remaining calls, so a failing
+// compilation stops the fan-out promptly.
+//
+// Determinism: RunAll imposes no ordering of its own — callers write
+// results into index i of a pre-sized slice, so the assembled output is
+// identical to the sequential run regardless of scheduling. The experiment
+// harness relies on this to keep rendered tables byte-deterministic under
+// parallelism.
+func RunAll(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				if err := fn(ctx, i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	// First error by index, so concurrent failures report deterministically.
+	for _, err := range errs {
+		if err != nil && !isCtxErr(err) {
+			return err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -56,6 +56,11 @@ type Engine struct {
 
 	// MaxFirings bounds total rule firings as a runaway guard.
 	MaxFirings int
+	// Interrupt, when non-nil, is polled between recognize-act cycles; a
+	// non-nil return stops the engine with that error. core wires it to
+	// context.Context.Err so a hung or runaway rule set can be cancelled
+	// or deadlined instead of spinning to the firing limit.
+	Interrupt func() error
 	// TraceWriter, when non-nil, receives one line per firing.
 	TraceWriter io.Writer
 	// Exhaustive recomputes every rule's instantiations on every cycle
@@ -229,9 +234,15 @@ func (e *Engine) FiringsByCategory() map[string]int {
 }
 
 // Run executes recognize-act cycles until the conflict set is empty, a rule
-// halts the engine, or MaxFirings is exceeded (an error).
+// halts the engine, MaxFirings is exceeded (an error), or Interrupt reports
+// an error (cancellation).
 func (e *Engine) Run() error {
 	for !e.halted {
+		if e.Interrupt != nil {
+			if err := e.Interrupt(); err != nil {
+				return err
+			}
+		}
 		e.cycles++
 		m := e.selectMatch()
 		if m == nil {

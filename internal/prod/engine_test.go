@@ -540,3 +540,43 @@ func TestIndexedJoinEquivalence(t *testing.T) {
 		t.Errorf("joined %d times, want 20", pairs)
 	}
 }
+
+func TestInterruptStopsRunawayRuleSet(t *testing.T) {
+	// A rule set that never reaches quiescence: every firing makes a new
+	// element that re-enables the rule. Without an interrupt this spins
+	// until MaxFirings; with one, Run returns the interrupt's error
+	// between cycles.
+	wm := NewWM()
+	wm.Make("tok", Attrs{"n": 0})
+	eng := NewEngine(wm)
+	eng.AddRule(&Rule{
+		Name:     "spin",
+		Patterns: []Pattern{P("tok").Absent("seen")},
+		Action: func(e *Engine, m *Match) {
+			e.WM.Modify(m.El(0), Attrs{"seen": true})
+			e.WM.Make("tok", Attrs{"n": m.El(0).Int("n") + 1})
+		},
+	})
+	polls := 0
+	wantErr := errSentinel("interrupted")
+	eng.Interrupt = func() error {
+		polls++
+		if polls > 10 {
+			return wantErr
+		}
+		return nil
+	}
+	err := eng.Run()
+	if err != wantErr {
+		t.Fatalf("Run: %v, want %v", err, wantErr)
+	}
+	// The interrupt is polled once per cycle, so firings are bounded by
+	// the poll budget rather than MaxFirings.
+	if eng.Firings() > 11 {
+		t.Errorf("firings %d, want <= 11 (one per polled cycle)", eng.Firings())
+	}
+}
+
+type errSentinel string
+
+func (e errSentinel) Error() string { return string(e) }
