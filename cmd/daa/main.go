@@ -28,10 +28,12 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/flow"
+	"repro/internal/serve"
 )
 
 // options collects the command-line configuration of one daa invocation.
@@ -49,6 +51,8 @@ type options struct {
 	verilog     bool
 	flow        bool
 	stageTiming bool
+	remote      string
+	deadline    time.Duration
 }
 
 func main() {
@@ -66,6 +70,8 @@ func main() {
 	flag.BoolVar(&o.verilog, "verilog", false, "emit the datapath as structural Verilog and exit")
 	flag.BoolVar(&o.flow, "flow", false, "emit the controller state graph as Graphviz and exit")
 	flag.BoolVar(&o.stageTiming, "stage-timing", false, "print wall time per pipeline stage")
+	flag.StringVar(&o.remote, "remote", "", "synthesize via a daad daemon at this base URL (e.g. http://localhost:8547)")
+	flag.DurationVar(&o.deadline, "deadline", 0, "per-request synthesis deadline (remote mode; 0 = server default)")
 	flag.Parse()
 	if err := run(os.Stdout, o); err != nil {
 		flow.WriteError(os.Stderr, "daa", err)
@@ -83,6 +89,9 @@ func run(w io.Writer, o options) error {
 	in, err := input(o.inFile, o.benchName)
 	if err != nil {
 		return err
+	}
+	if o.remote != "" {
+		return runRemote(w, in, o)
 	}
 	opt := flow.Options{
 		Allocator: o.allocator,
@@ -134,12 +143,9 @@ func run(w io.Writer, o options) error {
 		return res.Design.WriteControlFlowDot(w)
 	}
 
-	fmt.Fprint(w, res.Design.Report())
-	if cs, err := res.Design.ControlStats(); err == nil {
-		fmt.Fprintf(w, "  controller: %d states, %d control assertions (widest step %d)\n",
-			cs.States, cs.Signals, cs.MaxSignals)
-	}
-	fmt.Fprintf(w, "\ngate equivalents: %v\n", res.Cost)
+	// The deterministic report block is shared with the daemon
+	// (internal/serve), so daad responses stay byte-identical to local runs.
+	fmt.Fprint(w, serve.RenderReport(res))
 	if o.stageTiming {
 		fmt.Fprintln(w)
 		res.Trace.Write(w)

@@ -1,0 +1,120 @@
+package main
+
+// Remote mode: -remote <url> sends the compilation to a daad daemon
+// (cmd/daad) instead of synthesizing in-process. The daemon embeds the
+// same deterministic report block local runs print (serve.RenderReport),
+// so output is identical apart from the local-only value-trace header and
+// synthesis statistics; positioned diagnostics come back over the wire
+// and render with the same carets and exit codes.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/serve"
+)
+
+func runRemote(w io.Writer, in flow.Input, o options) error {
+	if o.trace || o.engineStats {
+		return flow.Usagef("-trace and -engine-stats stream local engine state and are not supported with -remote")
+	}
+	req := serve.SynthesizeRequest{
+		Name:   in.Name,
+		Source: in.Source,
+		Options: serve.RequestOptions{
+			Allocator:  o.allocator,
+			NoCleanup:  o.noCleanup,
+			Exhaustive: o.exhaustive,
+		},
+		Artifacts: serve.ArtifactRequest{
+			Verilog:      o.verilog,
+			ControlTable: o.control,
+			Dot:          o.flow,
+		},
+		Timings:    o.stageTiming,
+		DeadlineMS: int(o.deadline / time.Millisecond),
+	}
+	resp, err := postSynthesize(o.remote, req)
+	if err != nil {
+		return err
+	}
+
+	if o.verilog {
+		fmt.Fprint(w, resp.Artifacts.Verilog)
+		return nil
+	}
+	if o.flow {
+		fmt.Fprint(w, resp.Artifacts.Dot)
+		return nil
+	}
+	fmt.Fprint(w, resp.Report)
+	if o.stageTiming {
+		fmt.Fprintln(w)
+		remoteTrace(resp.Stages).Write(w)
+	}
+	if o.control {
+		fmt.Fprintln(w, "\ncontrol table:")
+		fmt.Fprint(w, resp.Artifacts.ControlTable)
+	}
+	return nil
+}
+
+// postSynthesize sends one request to the daemon and maps error bodies
+// back onto the local error taxonomy (diagnostics exit 2, overload and
+// internal failures exit 3).
+func postSynthesize(base string, req serve.SynthesizeRequest) (*serve.SynthesizeResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	url := strings.TrimRight(base, "/") + "/v1/synthesize"
+	httpResp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("remote %s: %w", base, err)
+	}
+	defer httpResp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(httpResp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("remote %s: reading response: %w", base, err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		var er serve.ErrorResponse
+		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+			if er.Kind == serve.KindInput && len(er.Diagnostics) > 0 {
+				var dl flow.DiagnosticList
+				for _, d := range er.Diagnostics {
+					dl = append(dl, d.FlowDiagnostic())
+				}
+				return nil, dl
+			}
+			return nil, fmt.Errorf("remote %s: %s (%s)", base, er.Error, er.Kind)
+		}
+		return nil, fmt.Errorf("remote %s: HTTP %d", base, httpResp.StatusCode)
+	}
+	var out serve.SynthesizeResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("remote %s: malformed response: %w", base, err)
+	}
+	if out.Artifacts == nil {
+		out.Artifacts = &serve.Artifacts{}
+	}
+	return &out, nil
+}
+
+// remoteTrace rebuilds a flow.Trace from wire stage timings so remote
+// stage-timing output renders through the same table writer.
+func remoteTrace(stages []serve.StageTiming) flow.Trace {
+	var tr flow.Trace
+	for _, s := range stages {
+		d := time.Duration(s.ElapsedMS * float64(time.Millisecond))
+		tr.Stages = append(tr.Stages, flow.StageInfo{Stage: s.Name, Elapsed: d, Cached: s.Cached, Note: s.Note})
+		tr.Total += d
+	}
+	return tr
+}

@@ -1,0 +1,207 @@
+package main
+
+// Load generation against a daad daemon (cmd/daad): replays the embedded
+// benchmark suite concurrently over POST /v1/synthesize and reports
+// throughput and latency percentiles — the serving-path numbers BENCH
+// tracking records next to the in-process synthesis figures.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/flow"
+	"repro/internal/serve"
+)
+
+// loadOptions configures one loadgen run.
+type loadOptions struct {
+	addr        string // daemon base URL (required)
+	concurrency int    // concurrent clients
+	requests    int    // total requests (cycled over the suite)
+	noCache     bool   // ask the daemon to bypass its design cache
+	asJSON      bool
+}
+
+// LoadReport is the machine-readable loadgen result (daabench -loadgen -json).
+type LoadReport struct {
+	Addr        string         `json:"addr"`
+	Suite       []string       `json:"suite"`
+	Requests    int            `json:"requests"`
+	Concurrency int            `json:"concurrency"`
+	Errors      int            `json:"errors"`
+	CacheHits   int64          `json:"cacheHits"`
+	StatusCount map[string]int `json:"statusCounts"`
+	WallMS      float64        `json:"wallMs"`
+	Throughput  float64        `json:"throughputRPS"`
+	Latency     LatencyReport  `json:"latencyMs"`
+}
+
+// LatencyReport summarizes per-request latency in milliseconds.
+type LatencyReport struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// runLoadgen fires opts.requests synthesize calls at the daemon from
+// opts.concurrency workers and renders the report.
+func runLoadgen(w io.Writer, opts loadOptions) error {
+	if opts.addr == "" {
+		return flow.Usagef("-loadgen needs -addr http://host:port of a running daad")
+	}
+	base := strings.TrimRight(opts.addr, "/")
+	if err := waitHealthy(base, 10*time.Second); err != nil {
+		return err
+	}
+	names := bench.Names()
+	bodies := make([][]byte, len(names))
+	for i, n := range names {
+		src, err := bench.Source(n)
+		if err != nil {
+			return err
+		}
+		body, err := json.Marshal(serve.SynthesizeRequest{
+			Name:    n + ".isps",
+			Source:  src,
+			NoCache: opts.noCache,
+		})
+		if err != nil {
+			return err
+		}
+		bodies[i] = body
+	}
+
+	var (
+		next      atomic.Int64
+		cacheHits atomic.Int64
+		mu        sync.Mutex
+		latencies []time.Duration
+		statuses  = map[string]int{}
+		errs      int
+	)
+	client := &http.Client{Timeout: 5 * time.Minute}
+	url := base + "/v1/synthesize"
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < opts.concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(opts.requests) {
+					return
+				}
+				body := bodies[i%int64(len(bodies))]
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				lat := time.Since(t0)
+				mu.Lock()
+				latencies = append(latencies, lat)
+				if err != nil {
+					errs++
+					statuses["error"]++
+					mu.Unlock()
+					continue
+				}
+				statuses[resp.Status]++
+				if resp.StatusCode != http.StatusOK {
+					errs++
+				}
+				mu.Unlock()
+				if resp.Header.Get("X-DAAD-Cache") == "hit" {
+					cacheHits.Add(1)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := LoadReport{
+		Addr:        base,
+		Suite:       names,
+		Requests:    opts.requests,
+		Concurrency: opts.concurrency,
+		Errors:      errs,
+		CacheHits:   cacheHits.Load(),
+		StatusCount: statuses,
+		WallMS:      float64(wall.Microseconds()) / 1000,
+		Throughput:  float64(opts.requests) / wall.Seconds(),
+		Latency:     summarize(latencies),
+	}
+	if opts.asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Fprintf(w, "loadgen: %d requests x %d clients against %s (suite of %d)\n",
+		rep.Requests, rep.Concurrency, rep.Addr, len(names))
+	fmt.Fprintf(w, "  wall %.1f ms, %.1f req/s, %d errors, %d cache hits\n",
+		rep.WallMS, rep.Throughput, rep.Errors, rep.CacheHits)
+	fmt.Fprintf(w, "  latency ms: mean %.2f  p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
+		rep.Latency.Mean, rep.Latency.P50, rep.Latency.P90, rep.Latency.P99, rep.Latency.Max)
+	if rep.Errors > 0 {
+		return fmt.Errorf("loadgen: %d of %d requests failed (%v)", rep.Errors, rep.Requests, statuses)
+	}
+	return nil
+}
+
+// waitHealthy polls /v1/healthz until the daemon answers, so loadgen can
+// start as soon as a freshly booted daad is up (the CI smoke path).
+func waitHealthy(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("loadgen: daemon at %s not healthy after %v: %v", base, timeout, err)
+			}
+			return fmt.Errorf("loadgen: daemon at %s not healthy after %v", base, timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// summarize computes the latency digest.
+func summarize(ds []time.Duration) LatencyReport {
+	if len(ds) == 0 {
+		return LatencyReport{}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	at := func(q float64) float64 {
+		i := int(q * float64(len(ds)-1))
+		return float64(ds[i].Microseconds()) / 1000
+	}
+	return LatencyReport{
+		Mean: float64((sum / time.Duration(len(ds))).Microseconds()) / 1000,
+		P50:  at(0.50),
+		P90:  at(0.90),
+		P99:  at(0.99),
+		Max:  float64(ds[len(ds)-1].Microseconds()) / 1000,
+	}
+}

@@ -20,11 +20,21 @@
 //	daabench -json           emit machine-readable per-benchmark results
 //
 // With -json the tables are replaced by one JSON document with component
-// counts, firings, match calls, elapsed time, and pipeline stage timings
-// per benchmark and phase, for recording the bench trajectory
-// (BENCH_*.json) from CI. The suite-wide experiments fan out across a
-// bounded worker pool; the output stays byte-deterministic apart from the
-// measured times. Usage mistakes exit 1; internal failures exit 3.
+// counts, firings, match calls, elapsed time, pipeline stage timings, and
+// flow-cache hit/miss counts per benchmark and phase, for recording the
+// bench trajectory (BENCH_*.json) from CI. The suite-wide experiments fan
+// out across a bounded worker pool; the output stays byte-deterministic
+// apart from the measured times. Usage mistakes exit 1; internal failures
+// exit 3.
+//
+// Loadgen mode drives a running daad daemon (cmd/daad) instead of
+// synthesizing in-process, replaying the embedded suite concurrently and
+// reporting throughput and latency percentiles — the serving-path
+// benchmark:
+//
+//	daabench -loadgen -addr http://localhost:8547            human summary
+//	daabench -loadgen -addr ... -c 32 -n 256 -json           JSON report
+//	daabench -loadgen -addr ... -no-cache                    force full syntheses
 package main
 
 import (
@@ -42,9 +52,26 @@ func main() {
 		only      = flag.String("only", "", "run a single experiment: E1..E8, or 'stages'")
 		benchName = flag.String("bench", "mcs6502", "benchmark for E2, E3, E4, E8, and stages")
 		asJSON    = flag.Bool("json", false, "emit machine-readable per-benchmark results instead of tables")
+		loadgen   = flag.Bool("loadgen", false, "replay the embedded suite against a daad daemon (see -addr, -c, -n)")
+		addr      = flag.String("addr", "", "daad base URL for -loadgen (e.g. http://localhost:8547)")
+		clients   = flag.Int("c", 32, "concurrent clients for -loadgen")
+		requests  = flag.Int("n", 128, "total requests for -loadgen (cycled over the suite)")
+		noCache   = flag.Bool("no-cache", false, "ask the daemon to bypass its design cache (-loadgen)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, strings.ToUpper(*only), *benchName, *asJSON); err != nil {
+	var err error
+	if *loadgen {
+		err = runLoadgen(os.Stdout, loadOptions{
+			addr:        *addr,
+			concurrency: *clients,
+			requests:    *requests,
+			noCache:     *noCache,
+			asJSON:      *asJSON,
+		})
+	} else {
+		err = run(os.Stdout, strings.ToUpper(*only), *benchName, *asJSON)
+	}
+	if err != nil {
 		flow.WriteError(os.Stderr, "daabench", err)
 		os.Exit(flow.ExitCode(err))
 	}

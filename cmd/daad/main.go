@@ -1,0 +1,104 @@
+// Command daad is the DAA synthesis daemon: a long-running HTTP/JSON
+// service over the staged pipeline, turning the batch synthesizer into
+// the interactive assistant the paper pitches. Clients submit ISPS
+// behavioral descriptions and get back register-transfer structures, cost
+// tables, and positioned diagnostics; cmd/daa targets a daemon with
+// -remote, and cmd/daabench's loadgen mode drives one for serving-path
+// benchmarks.
+//
+// Usage:
+//
+//	daad                          serve on :8547 with defaults
+//	daad -addr :9000 -workers 8   bind elsewhere, bound the pool
+//	daad -queue 128 -cache 1024   deeper admission queue, bigger cache
+//
+// Endpoints (see internal/serve): POST /v1/synthesize, POST /v1/batch,
+// GET /v1/healthz, GET /v1/metrics.
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: new work is refused
+// with 503 while in-flight syntheses run to completion, bounded by
+// -drain-timeout.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8547", "listen address")
+		workers      = flag.Int("workers", 0, "max concurrent syntheses (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "admission queue depth beyond the workers (requests past it get 429)")
+		cacheN       = flag.Int("cache", 0, "design-cache entries (0 = default, negative disables)")
+		frontCacheN  = flag.Int("front-cache", 0, "front-end artifact cache entries (0 = flow default)")
+		maxBody      = flag.Int64("max-body", 1<<20, "request body size limit in bytes")
+		deadline     = flag.Duration("deadline", 60*time.Second, "default per-request synthesis deadline")
+		maxDeadline  = flag.Duration("max-deadline", 5*time.Minute, "clamp on client-supplied deadlines")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound for in-flight work")
+	)
+	flag.Parse()
+	if err := run(*addr, serve.Config{
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		CacheEntries:      *cacheN,
+		FrontCacheEntries: *frontCacheN,
+		MaxBodyBytes:      *maxBody,
+		DefaultDeadline:   *deadline,
+		MaxDeadline:       *maxDeadline,
+		Logger:            log.New(os.Stderr, "daad ", log.LstdFlags|log.Lmicroseconds),
+	}, *drainTimeout); err != nil {
+		flow.WriteError(os.Stderr, "daad", err)
+		os.Exit(flow.ExitCode(err))
+	}
+}
+
+func run(addr string, cfg serve.Config, drainTimeout time.Duration) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", addr, err)
+	}
+	s := serve.New(cfg)
+	cfg.Logger.Printf("listening on http://%s (workers=%d queue=%d)", l.Addr(), effectiveWorkers(cfg), cfg.QueueDepth)
+
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve(l) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		cfg.Logger.Printf("received %v, draining (timeout %v)", sig, drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		if err := <-errc; err != nil && err != http.ErrServerClosed {
+			return err
+		}
+		cfg.Logger.Printf("drained, exiting")
+		return nil
+	}
+}
+
+func effectiveWorkers(cfg serve.Config) int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -34,6 +34,15 @@ type JSONStage struct {
 	Note      string  `json:"note,omitempty"`
 }
 
+// JSONCache reports how this compilation's front-end stages were served:
+// Hits counts stages satisfied from the flow artifact cache, Misses the
+// stages that had to run, so cache efficacy is visible per benchmark in
+// the recorded bench artifacts.
+type JSONCache struct {
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+}
+
 // JSONResult is the machine-readable synthesis record for one benchmark:
 // the component counts and the engine cost figures whose trajectory CI
 // tracks across commits (BENCH_*.json).
@@ -46,6 +55,7 @@ type JSONResult struct {
 	ElapsedMS  float64     `json:"elapsedMs"`
 	Phases     []JSONPhase `json:"phases"`
 	Stages     []JSONStage `json:"stages"`
+	FlowCache  JSONCache   `json:"flowCache"`
 }
 
 // JSONResults synthesizes every embedded benchmark — in parallel across
@@ -88,6 +98,11 @@ func JSONResults() ([]JSONResult, error) {
 				Cached:    st.Cached,
 				Note:      st.Note,
 			})
+			if st.Cached {
+				r.FlowCache.Hits++
+			} else if st.Stage == flow.StageParse || st.Stage == flow.StageSema || st.Stage == flow.StageBuild {
+				r.FlowCache.Misses++
+			}
 		}
 		out[i] = r
 		return nil
@@ -99,7 +114,9 @@ func JSONResults() ([]JSONResult, error) {
 }
 
 // WriteJSON emits the per-benchmark results as indented JSON, the format
-// cmd/daabench -json prints for CI recording.
+// cmd/daabench -json prints for CI recording. The document-level flowCache
+// block reports the artifact cache's process-wide hit/miss/eviction
+// counters after the suite ran.
 func WriteJSON(w io.Writer) error {
 	results, err := JSONResults()
 	if err != nil {
@@ -108,6 +125,7 @@ func WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {
-		Results []JSONResult `json:"results"`
-	}{results})
+		Results   []JSONResult    `json:"results"`
+		FlowCache flow.CacheStats `json:"flowCache"`
+	}{results, flow.FrontCacheStats()})
 }

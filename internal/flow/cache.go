@@ -1,10 +1,10 @@
 package flow
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/isps"
@@ -14,7 +14,14 @@ import (
 // The artifact cache memoizes the front half of the pipeline (parse +
 // sema + trace build/validation) keyed by a content hash of the input, so
 // compiling the same source repeatedly — the experiment harness loads the
-// MCS6502 nine-plus times across E2–E8 — pays for the front end once.
+// MCS6502 nine-plus times across E2–E8, and a synthesis daemon sees the
+// same sources for the lifetime of the process — pays for the front end
+// once.
+//
+// The cache is a bounded LRU: a long-running server must not accumulate
+// front-end artifacts for every source it has ever seen. When the entry
+// cap is exceeded the least-recently-used artifact is evicted (and
+// counted); a re-submission of an evicted source simply rebuilds it.
 //
 // The cached value trace is pristine: it is never handed to a caller
 // directly, only as a vt.Clone, because the DAA's trace-refinement rules
@@ -29,32 +36,112 @@ type frontArtifact struct {
 }
 
 // frontEntry is the cache slot: the once gate makes concurrent compilations
-// of the same source (RunAll fan-out) build the artifact exactly once.
+// of the same source (RunAll fan-out, concurrent server requests) build
+// the artifact exactly once, even if the entry is evicted mid-build.
 type frontEntry struct {
+	key  [sha256.Size]byte
 	once sync.Once
 	art  *frontArtifact
 	err  error
 }
 
-var (
-	frontCache sync.Map // [sha256.Size]byte -> *frontEntry
-	frontCount atomic.Int64
-)
+// DefaultCacheCap is the front-end artifact cache's default entry bound:
+// ample for the embedded benchmark suite plus a working set of user
+// sources, small enough that a daemon fed unique sources stays flat.
+const DefaultCacheCap = 256
 
-// frontCacheMax bounds the cache; inputs past the bound compile privately.
-// The working set is the embedded benchmark suite plus a handful of user
-// files, so the bound exists only to keep adversarial workloads (fuzzing,
-// bulk one-shot compiles) from accumulating memory.
-const frontCacheMax = 256
+// CacheStats is a point-in-time snapshot of the front-end artifact cache.
+type CacheStats struct {
+	Entries   int   `json:"entries"`   // artifacts currently cached
+	Cap       int   `json:"cap"`       // entry bound
+	Hits      int64 `json:"hits"`      // lookups served from the cache
+	Misses    int64 `json:"misses"`    // lookups that had to build
+	Evictions int64 `json:"evictions"` // artifacts dropped by the LRU bound
+}
 
-func frontKey(in Input) [sha256.Size]byte {
-	h := sha256.New()
-	h.Write([]byte(in.Name))
-	h.Write([]byte{0})
-	h.Write([]byte(in.Source))
-	var k [sha256.Size]byte
-	copy(k[:], h.Sum(nil))
-	return k
+// frontCache is the bounded LRU state. lru holds *frontEntry values,
+// most-recently-used at the front; index maps content hash to lru node.
+var frontCache = struct {
+	mu        sync.Mutex
+	cap       int
+	lru       *list.List
+	index     map[[sha256.Size]byte]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}{
+	cap:   DefaultCacheCap,
+	lru:   list.New(),
+	index: map[[sha256.Size]byte]*list.Element{},
+}
+
+// lookupFront returns the cache entry for key, creating (and, past the
+// bound, evicting) under the lock; the artifact build itself runs outside.
+func lookupFront(key [sha256.Size]byte) *frontEntry {
+	c := &frontCache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if node, ok := c.index[key]; ok {
+		c.hits++
+		c.lru.MoveToFront(node)
+		return node.Value.(*frontEntry)
+	}
+	c.misses++
+	e := &frontEntry{key: key}
+	c.index[key] = c.lru.PushFront(e)
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.index, back.Value.(*frontEntry).key)
+		c.evictions++
+	}
+	return e
+}
+
+// FrontCacheStats snapshots the artifact cache's counters.
+func FrontCacheStats() CacheStats {
+	c := &frontCache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.lru.Len(),
+		Cap:       c.cap,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}
+
+// SetCacheCap rebounds the artifact cache to at most n entries (n <= 0
+// restores DefaultCacheCap), evicting least-recently-used artifacts
+// immediately if the cache is over the new bound, and returns the bound
+// now in effect. Daemons size this to their expected working set.
+func SetCacheCap(n int) int {
+	if n <= 0 {
+		n = DefaultCacheCap
+	}
+	c := &frontCache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cap = n
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.index, back.Value.(*frontEntry).key)
+		c.evictions++
+	}
+	return n
+}
+
+// ResetCache drops every cached front-end artifact and zeroes the counters
+// (tests and memory-sensitive batch runs). The entry cap is kept.
+func ResetCache() {
+	c := &frontCache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	c.index = map[[sha256.Size]byte]*list.Element{}
+	c.hits, c.misses, c.evictions = 0, 0, 0
 }
 
 // frontStages returns the analyzed AST, a private clone of the validated
@@ -69,19 +156,7 @@ func frontStages(in Input, useCache bool) (*isps.Program, *vt.Program, []StageIn
 		// Uncached artifacts are private: no clone needed.
 		return art.ast, art.trace, art.stages, nil
 	}
-	key := frontKey(in)
-	var e *frontEntry
-	if v, ok := frontCache.Load(key); ok {
-		e = v.(*frontEntry)
-	} else if frontCount.Load() >= frontCacheMax {
-		return frontStages(in, false)
-	} else {
-		v, loaded := frontCache.LoadOrStore(key, &frontEntry{})
-		e = v.(*frontEntry)
-		if !loaded {
-			frontCount.Add(1)
-		}
-	}
+	e := lookupFront(in.ContentHash())
 	built := false
 	e.once.Do(func() {
 		built = true
@@ -144,14 +219,4 @@ func buildFront(in Input) (*frontArtifact, error) {
 
 	art.ast, art.trace = ast, trace
 	return art, nil
-}
-
-// ResetCache drops every cached front-end artifact (tests and
-// memory-sensitive batch runs).
-func ResetCache() {
-	frontCache.Range(func(k, _ any) bool {
-		frontCache.Delete(k)
-		return true
-	})
-	frontCount.Store(0)
 }

@@ -1,0 +1,118 @@
+package flow
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sched"
+	"repro/internal/vt"
+)
+
+// ContentHash returns the input's cache identity: a SHA-256 over the name
+// and source with a separator, so (name, source) pairs cannot collide by
+// concatenation. It keys the front-end artifact cache here and the design
+// cache in internal/serve.
+func (in Input) ContentHash() [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte(in.Name))
+	h.Write([]byte{0})
+	h.Write([]byte(in.Source))
+	var k [sha256.Size]byte
+	copy(k[:], h.Sum(nil))
+	return k
+}
+
+// Key canonicalizes the options that determine a compilation's result into
+// a stable string: equal option sets always produce equal keys, and
+// distinct option sets (different allocator, ablations, matcher mode,
+// scheduler limits, or cost model) never share one. Defaults are
+// normalized — the zero Options and an explicit {Allocator: "daa"} key
+// identically — so result caches keyed by (Input.ContentHash, Options.Key)
+// hit across equivalent spellings.
+//
+// Key covers only declarative options. Live state that cannot be
+// canonicalized — a firing-trace writer, extra rules — is flagged by
+// Cacheable; NoCache is a compilation-path toggle that never changes the
+// result and is excluded.
+func (o Options) Key() string {
+	var b strings.Builder
+	alloc := o.Allocator
+	if alloc == "" {
+		alloc = AllocDAA
+	}
+	fmt.Fprintf(&b, "alloc=%s", alloc)
+	fmt.Fprintf(&b, ";trace-rules=%t;cleanup=%t;exhaustive=%t;crosscheck=%t",
+		!o.Core.DisableTraceRules, !o.Core.DisableCleanup,
+		o.Core.ExhaustiveMatch, o.Core.CrossCheckMatch)
+	b.WriteString(";core-limits=")
+	writeLimits(&b, o.Core.Limits)
+	b.WriteString(";alloc-limits=")
+	writeLimits(&b, o.Alloc.Limits)
+	b.WriteString(";model=")
+	if o.Model == nil {
+		b.WriteString("default")
+	} else {
+		m := o.Model
+		fmt.Fprintf(&b, "reg=%g,mem=%g,muxway=%g,link=%g,const=%g,port=%g,state=%g,fnsel=%g,fn=",
+			m.RegBit, m.MemBit, m.MuxWayBit, m.LinkBit, m.ConstBit, m.PortBit, m.StateCost, m.FnSelBit)
+		writeKindMapF(&b, m.FnBit)
+	}
+	if !o.Cacheable() {
+		// Uncacheable options still get distinct keys for logging, but two
+		// different ExtraRules sets must not alias: mark the key unique-ish
+		// by pointer-free content we can see, and let Cacheable gate reuse.
+		fmt.Fprintf(&b, ";uncacheable(trace=%t,extra-rules=%d)", o.Core.Trace != nil, len(o.Core.ExtraRules))
+	}
+	return b.String()
+}
+
+// Cacheable reports whether Key fully determines the compilation result:
+// false when the options carry live state (a firing-trace writer, extra
+// rules) that a canonical key cannot capture. Result caches must not
+// store or serve compilations whose options are not cacheable.
+func (o Options) Cacheable() bool {
+	return o.Core.Trace == nil && len(o.Core.ExtraRules) == 0
+}
+
+// writeLimits canonicalizes sched.Limits: map entries sort by operator
+// kind, and the nil map (the "one unit per compute kind" default) is
+// spelled distinctly from an explicit empty or populated map.
+func writeLimits(b *strings.Builder, l sched.Limits) {
+	memPorts := l.MemPorts
+	if memPorts <= 0 {
+		memPorts = 1 // sched treats 0 as single-ported
+	}
+	fmt.Fprintf(b, "memports=%d,maxops=%d,units=", memPorts, l.MaxOpsPerStep)
+	if l.UnitsPerKind == nil {
+		b.WriteString("default")
+		return
+	}
+	kinds := make([]int, 0, len(l.UnitsPerKind))
+	for k := range l.UnitsPerKind {
+		kinds = append(kinds, int(k))
+	}
+	sort.Ints(kinds)
+	for i, k := range kinds {
+		if i > 0 {
+			b.WriteByte('+')
+		}
+		fmt.Fprintf(b, "%s:%d", vt.OpKind(k), l.UnitsPerKind[vt.OpKind(k)])
+	}
+}
+
+// writeKindMapF canonicalizes a per-kind float map, sorted by kind.
+func writeKindMapF(b *strings.Builder, m map[vt.OpKind]float64) {
+	kinds := make([]int, 0, len(m))
+	for k := range m {
+		kinds = append(kinds, int(k))
+	}
+	sort.Ints(kinds)
+	for i, k := range kinds {
+		if i > 0 {
+			b.WriteByte('+')
+		}
+		fmt.Fprintf(b, "%s:%g", vt.OpKind(k), m[vt.OpKind(k)])
+	}
+}

@@ -1,0 +1,108 @@
+package flow_test
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/flow"
+	"repro/internal/prod"
+	"repro/internal/sched"
+	"repro/internal/vt"
+)
+
+// TestOptionsKeyDistinct pins the collision-freedom of the canonical
+// option key: every semantically distinct option set must key
+// differently, because both the design cache in internal/serve and any
+// future result cache trust Key as the full identity of a compilation's
+// configuration.
+func TestOptionsKeyDistinct(t *testing.T) {
+	tweakedModel := cost.Default()
+	tweakedModel.RegBit = 99
+	fnModel := cost.Default()
+	fnModel.FnBit = map[vt.OpKind]float64{vt.OpAdd: 7, vt.OpSub: 9}
+	fnModel2 := cost.Default()
+	fnModel2.FnBit = map[vt.OpKind]float64{vt.OpAdd: 9, vt.OpSub: 7}
+
+	sets := map[string]flow.Options{
+		"default":          {},
+		"leftedge":         {Allocator: flow.AllocLeftEdge},
+		"naive":            {Allocator: flow.AllocNaive},
+		"no-cleanup":       {Core: core.Options{DisableCleanup: true}},
+		"no-trace-rules":   {Core: core.Options{DisableTraceRules: true}},
+		"exhaustive":       {Core: core.Options{ExhaustiveMatch: true}},
+		"crosscheck":       {Core: core.Options{CrossCheckMatch: true}},
+		"mem-ports":        {Core: core.Options{Limits: sched.Limits{MemPorts: 2}}},
+		"max-ops":          {Core: core.Options{Limits: sched.Limits{MaxOpsPerStep: 3}}},
+		"units-capped":     {Core: core.Options{Limits: sched.Limits{UnitsPerKind: map[vt.OpKind]int{vt.OpAdd: 2}}}},
+		"units-empty":      {Core: core.Options{Limits: sched.Limits{UnitsPerKind: map[vt.OpKind]int{}}}},
+		"alloc-mem-ports":  {Allocator: flow.AllocLeftEdge, Alloc: alloc.Options{Limits: sched.Limits{MemPorts: 2}}},
+		"model-regbit":     {Model: &tweakedModel},
+		"model-fnbit":      {Model: &fnModel},
+		"model-fnbit-swap": {Model: &fnModel2},
+	}
+	seen := map[string]string{}
+	for name, o := range sets {
+		k := o.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("option sets %q and %q collide on key %q", name, prev, k)
+		}
+		seen[k] = name
+		if k != o.Key() {
+			t.Errorf("%s: Key is not stable", name)
+		}
+	}
+}
+
+// TestOptionsKeyNormalizesDefaults checks that equivalent spellings of the
+// default configuration key identically, so caches hit across them, and
+// that the result-neutral NoCache toggle is excluded from the key.
+func TestOptionsKeyNormalizesDefaults(t *testing.T) {
+	base := flow.Options{}
+	if got := (flow.Options{Allocator: flow.AllocDAA}).Key(); got != base.Key() {
+		t.Errorf("explicit daa allocator keys differently:\n  %q\n  %q", got, base.Key())
+	}
+	if got := (flow.Options{NoCache: true}).Key(); got != base.Key() {
+		t.Errorf("NoCache leaked into the key:\n  %q\n  %q", got, base.Key())
+	}
+	// MemPorts 0 and 1 both mean single-ported in sched.
+	a := flow.Options{Core: core.Options{Limits: sched.Limits{MemPorts: 1}}}
+	if a.Key() != base.Key() {
+		t.Errorf("MemPorts 0 vs 1 key differently:\n  %q\n  %q", a.Key(), base.Key())
+	}
+}
+
+// TestOptionsCacheable pins which options a result cache may store: live
+// state (trace writers, extra rules) cannot be canonicalized and must be
+// refused.
+func TestOptionsCacheable(t *testing.T) {
+	if !(flow.Options{}).Cacheable() {
+		t.Error("default options not cacheable")
+	}
+	withTrace := flow.Options{Core: core.Options{Trace: io.Discard}}
+	if withTrace.Cacheable() {
+		t.Error("options with a firing-trace writer reported cacheable")
+	}
+	withRules := flow.Options{Core: core.Options{ExtraRules: []*prod.Rule{{Name: "x"}}}}
+	if withRules.Cacheable() {
+		t.Error("options with extra rules reported cacheable")
+	}
+	if withTrace.Key() == (flow.Options{}).Key() {
+		t.Error("uncacheable options share a key with the default set")
+	}
+}
+
+// TestInputContentHash pins the separator between name and source: the
+// pairs ("ab", "c") and ("a", "bc") must hash differently.
+func TestInputContentHash(t *testing.T) {
+	a := flow.Input{Name: "ab", Source: "c"}
+	b := flow.Input{Name: "a", Source: "bc"}
+	if a.ContentHash() == b.ContentHash() {
+		t.Error("name/source concatenation collides")
+	}
+	if a.ContentHash() != a.ContentHash() {
+		t.Error("hash not stable")
+	}
+}

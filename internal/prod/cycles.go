@@ -1,0 +1,18 @@
+package prod
+
+import "sync/atomic"
+
+// totalCycles counts recognize-act cycles across every engine in the
+// process. Each Engine already reports its own Cycles(), but that count
+// dies with the engine when a run is interrupted: core.SynthesizeContext
+// returns only an error on cancellation, discarding the partial stats.
+// The process-wide counter survives, so a serving layer can observe that
+// a client-canceled or deadline-exceeded request really did stop the
+// recognize-act loop early (its cycle delta is far below a full run's)
+// and can roll engine throughput into its metrics.
+var totalCycles atomic.Uint64
+
+// TotalEngineCycles reports the recognize-act cycles executed by all
+// engines in this process since start, including runs that were
+// interrupted before completing.
+func TotalEngineCycles() uint64 { return totalCycles.Load() }

@@ -244,6 +244,7 @@ func (e *Engine) Run() error {
 			}
 		}
 		e.cycles++
+		totalCycles.Add(1)
 		m := e.selectMatch()
 		if m == nil {
 			return nil

@@ -1,0 +1,266 @@
+// Package serve is the synthesis daemon: a concurrent HTTP/JSON service
+// over the staged pipeline (internal/flow), turning the DAA from a batch
+// CLI into the interactive assistant the paper pitches — a designer
+// submits an ISPS behavioral description and gets back a register-transfer
+// structure, its cost table, and diagnostics.
+//
+// Endpoints:
+//
+//	POST /v1/synthesize  one source + options → design summary, cost,
+//	                     diagnostics, optional Verilog/control-table/DOT
+//	POST /v1/batch       N sources fanned out on the bounded worker pool,
+//	                     results in input order
+//	GET  /v1/healthz     liveness and drain state
+//	GET  /v1/metrics     JSON counters: requests, cache hits/misses, queue
+//	                     depth, in-flight, per-stage wall time, engine rollups
+//
+// Robustness is the point of the package: per-request deadlines propagate
+// into core.SynthesizeContext so a client disconnect interrupts the
+// recognize-act loop mid-synthesis; admission control sheds load with 429
+// once the bounded queue is full; request bodies are size-limited; panics
+// become 500s with request IDs in every log line; Shutdown drains
+// in-flight work. A bounded LRU keyed by (source content hash, canonical
+// option key) caches complete synthesis responses, so repeat submissions
+// are O(lookup).
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/flow"
+	"repro/internal/isps"
+	"repro/internal/rtl"
+	"repro/internal/sched"
+)
+
+// SynthesizeRequest is the POST /v1/synthesize body.
+type SynthesizeRequest struct {
+	// Name labels the source in diagnostics (default "input.isps").
+	Name string `json:"name,omitempty"`
+	// Source is the ISPS behavioral description. Required.
+	Source string `json:"source"`
+	// Options selects the allocator and its ablations.
+	Options RequestOptions `json:"options,omitempty"`
+	// Artifacts selects optional machine-readable outputs.
+	Artifacts ArtifactRequest `json:"artifacts,omitempty"`
+	// DeadlineMS bounds this request's synthesis wall time; the server
+	// clamps it to its configured maximum. 0 means the server default.
+	DeadlineMS int `json:"deadlineMs,omitempty"`
+	// Timings includes the wall-time fields (per-stage pipeline timings and
+	// per-phase synthesis statistics) in the response. They vary run to
+	// run; without them the response is byte-deterministic.
+	Timings bool `json:"timings,omitempty"`
+	// NoCache bypasses the design cache for this request: the synthesis
+	// always runs, and nothing is stored.
+	NoCache bool `json:"noCache,omitempty"`
+}
+
+// RequestOptions is the JSON-expressible subset of flow.Options. It is
+// fully canonicalizable (flow.Options.Cacheable holds for every value),
+// which is what makes the design cache sound.
+type RequestOptions struct {
+	// Allocator: "daa" (default), "leftedge", or "naive".
+	Allocator string `json:"allocator,omitempty"`
+	// NoTraceRules skips the DAA's trace-refinement phase.
+	NoTraceRules bool `json:"noTraceRules,omitempty"`
+	// NoCleanup skips the DAA's global-improvement phase.
+	NoCleanup bool `json:"noCleanup,omitempty"`
+	// Exhaustive disables incremental conflict-set maintenance.
+	Exhaustive bool `json:"exhaustive,omitempty"`
+	// MaxOpsPerStep caps total operators per control step (0 = no cap).
+	MaxOpsPerStep int `json:"maxOpsPerStep,omitempty"`
+	// MemPorts caps accesses per memory per step (0 = single-ported).
+	MemPorts int `json:"memPorts,omitempty"`
+}
+
+// flowOptions lowers the wire options onto the pipeline's option set.
+func (o RequestOptions) flowOptions() (flow.Options, error) {
+	alloc := o.Allocator
+	if alloc == "" {
+		alloc = flow.AllocDAA
+	}
+	switch alloc {
+	case flow.AllocDAA, flow.AllocLeftEdge, flow.AllocNaive:
+	default:
+		return flow.Options{}, fmt.Errorf("unknown allocator %q (want %s, %s, or %s)",
+			o.Allocator, flow.AllocDAA, flow.AllocLeftEdge, flow.AllocNaive)
+	}
+	lim := sched.Limits{MaxOpsPerStep: o.MaxOpsPerStep, MemPorts: o.MemPorts}
+	opt := flow.Options{
+		Allocator: alloc,
+		Core: core.Options{
+			Limits:            lim,
+			DisableTraceRules: o.NoTraceRules,
+			DisableCleanup:    o.NoCleanup,
+			ExhaustiveMatch:   o.Exhaustive,
+		},
+	}
+	opt.Alloc.Limits = lim
+	return opt, nil
+}
+
+// ArtifactRequest selects the optional outputs of a synthesize call.
+type ArtifactRequest struct {
+	Verilog      bool `json:"verilog,omitempty"`      // structural Verilog of the datapath
+	ControlTable bool `json:"controlTable,omitempty"` // per-state control-signal table
+	Dot          bool `json:"dot,omitempty"`          // controller state graph as Graphviz
+}
+
+// key canonicalizes the artifact selection for the design-cache key.
+func (a ArtifactRequest) key() string {
+	return fmt.Sprintf("v=%t,ct=%t,dot=%t", a.Verilog, a.ControlTable, a.Dot)
+}
+
+// SynthesizeResponse is the success body of POST /v1/synthesize and of
+// each batch item. Without Timings in the request, every field is a pure
+// function of (source, options): responses are byte-deterministic and
+// byte-identical to a local `daa` run's report section.
+type SynthesizeResponse struct {
+	Name      string         `json:"name"`
+	Allocator string         `json:"allocator"`
+	Counts    rtl.Counts     `json:"counts"`
+	Cost      cost.Breakdown `json:"cost"`
+	// Report is the human-readable structural summary, exactly the text
+	// `daa` prints locally (design report, controller line, gate
+	// equivalents).
+	Report    string        `json:"report"`
+	Artifacts *Artifacts    `json:"artifacts,omitempty"`
+	Stats     *SynthStats   `json:"stats,omitempty"`  // with timings only
+	Stages    []StageTiming `json:"stages,omitempty"` // with timings only
+}
+
+// Artifacts carries the optional machine-readable outputs.
+type Artifacts struct {
+	Verilog      string `json:"verilog,omitempty"`
+	ControlTable string `json:"controlTable,omitempty"`
+	Dot          string `json:"dot,omitempty"`
+}
+
+// SynthStats summarizes the DAA's rule-firing statistics (absent for the
+// baseline allocators).
+type SynthStats struct {
+	TotalFirings    int          `json:"totalFirings"`
+	TotalMatchCalls int          `json:"totalMatchCalls"`
+	ElapsedMS       float64      `json:"elapsedMs"`
+	Phases          []PhaseStats `json:"phases"`
+}
+
+// PhaseStats is one synthesis phase's share of SynthStats.
+type PhaseStats struct {
+	Name       string  `json:"name"`
+	Rules      int     `json:"rules"`
+	Firings    int     `json:"firings"`
+	Cycles     int     `json:"cycles"`
+	WMPeak     int     `json:"wmPeak"`
+	MatchCalls int     `json:"matchCalls"`
+	ElapsedMS  float64 `json:"elapsedMs"`
+}
+
+// StageTiming is one pipeline stage's wall time.
+type StageTiming struct {
+	Name      string  `json:"name"`
+	ElapsedMS float64 `json:"elapsedMs"`
+	Cached    bool    `json:"cached,omitempty"`
+	Note      string  `json:"note,omitempty"`
+}
+
+// Error kinds, the machine-readable classification of ErrorResponse.
+const (
+	KindRequest  = "request"  // malformed or oversized request (4xx)
+	KindInput    = "input"    // the ISPS source was rejected, with diagnostics
+	KindDeadline = "deadline" // the per-request deadline expired mid-synthesis
+	KindCanceled = "canceled" // the client went away; synthesis was interrupted
+	KindOverload = "overload" // admission queue full; retry later
+	KindShutdown = "shutdown" // the server is draining
+	KindInternal = "internal" // synthesis failed unexpectedly (or panicked)
+)
+
+// ErrorResponse is the error body of every endpoint.
+type ErrorResponse struct {
+	Error       string       `json:"error"`
+	Kind        string       `json:"kind"`
+	Diagnostics []Diagnostic `json:"diagnostics,omitempty"`
+	RequestID   string       `json:"requestId,omitempty"`
+}
+
+// Diagnostic is one positioned input error, mirroring flow.Diagnostic.
+type Diagnostic struct {
+	File    string `json:"file,omitempty"`
+	Line    int    `json:"line,omitempty"`
+	Col     int    `json:"col,omitempty"`
+	Stage   string `json:"stage"`
+	Msg     string `json:"msg"`
+	SrcLine string `json:"srcLine,omitempty"`
+}
+
+// FlowDiagnostic converts a wire diagnostic back into a flow.Diagnostic,
+// so remote clients (daa -remote) render carets exactly like local runs.
+func (d Diagnostic) FlowDiagnostic() *flow.Diagnostic {
+	return &flow.Diagnostic{
+		Stage:   d.Stage,
+		Pos:     isps.Pos{File: d.File, Line: d.Line, Col: d.Col},
+		Msg:     d.Msg,
+		SrcLine: d.SrcLine,
+	}
+}
+
+// BatchRequest is the POST /v1/batch body.
+type BatchRequest struct {
+	Requests []SynthesizeRequest `json:"requests"`
+}
+
+// BatchResponse carries one item per request, in input order. Exactly one
+// of Result/Error is set per item.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// BatchItem is one batch result slot.
+type BatchItem struct {
+	Result *SynthesizeResponse `json:"result,omitempty"`
+	Error  *ErrorResponse      `json:"error,omitempty"`
+}
+
+// HealthResponse is the GET /v1/healthz body.
+type HealthResponse struct {
+	Status     string `json:"status"` // "ok" or "draining"
+	InFlight   int64  `json:"inFlight"`
+	QueueDepth int64  `json:"queueDepth"`
+}
+
+// newSynthStats lowers core.Stats onto the wire shape.
+func newSynthStats(st core.Stats) *SynthStats {
+	out := &SynthStats{
+		TotalFirings:    st.TotalFirings,
+		TotalMatchCalls: st.TotalMatchCalls,
+		ElapsedMS:       ms(st.Elapsed),
+	}
+	for _, ph := range st.Phases {
+		out.Phases = append(out.Phases, PhaseStats{
+			Name:       ph.Name,
+			Rules:      ph.Rules,
+			Firings:    ph.Firings,
+			Cycles:     ph.Cycles,
+			WMPeak:     ph.WMPeak,
+			MatchCalls: ph.Engine.MatchCalls,
+			ElapsedMS:  ms(ph.Elapsed),
+		})
+	}
+	return out
+}
+
+// newStageTimings lowers a flow.Trace onto the wire shape.
+func newStageTimings(tr flow.Trace) []StageTiming {
+	out := make([]StageTiming, 0, len(tr.Stages))
+	for _, s := range tr.Stages {
+		out = append(out, StageTiming{
+			Name: s.Stage, ElapsedMS: ms(s.Elapsed), Cached: s.Cached, Note: s.Note,
+		})
+	}
+	return out
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/prod"
+)
+
+// metrics is the server's counter set. Everything is lock-free atomics
+// except the per-stage wall-time map, which is tiny (six stages) and
+// touched once per completed compilation.
+type metrics struct {
+	synthesize atomic.Int64 // POST /v1/synthesize requests
+	batch      atomic.Int64 // POST /v1/batch requests
+	batchItems atomic.Int64 // individual sources across batch requests
+	healthz    atomic.Int64
+	metricsReq atomic.Int64
+
+	ok2xx  atomic.Int64
+	err4xx atomic.Int64
+	err5xx atomic.Int64
+
+	shed             atomic.Int64 // 429s from the admission queue
+	canceled         atomic.Int64 // syntheses interrupted by client disconnect
+	deadlineExceeded atomic.Int64 // syntheses interrupted by deadline
+	panics           atomic.Int64 // handler panics recovered to 500
+
+	synthesized atomic.Int64 // compilations that ran to completion
+	firings     atomic.Int64 // prod rollups across completed DAA runs
+	matchCalls  atomic.Int64
+	deltas      atomic.Int64
+	rebuilds    atomic.Int64
+
+	stageMu sync.Mutex
+	stageNS map[string]int64 // cumulative wall time per pipeline stage
+}
+
+// observeResult folds one completed compilation into the counters.
+func (m *metrics) observeResult(res *flow.Result) {
+	m.synthesized.Add(1)
+	if res.Synth != nil {
+		st := res.Synth.Stats
+		m.firings.Add(int64(st.TotalFirings))
+		m.matchCalls.Add(int64(st.TotalMatchCalls))
+		em := st.EngineMetrics()
+		m.deltas.Add(int64(em.Deltas))
+		m.rebuilds.Add(int64(em.Rebuilds))
+	}
+	m.stageMu.Lock()
+	if m.stageNS == nil {
+		m.stageNS = map[string]int64{}
+	}
+	for _, s := range res.Trace.Stages {
+		m.stageNS[s.Stage] += int64(s.Elapsed)
+	}
+	m.stageMu.Unlock()
+}
+
+// MetricsResponse is the GET /v1/metrics body.
+type MetricsResponse struct {
+	UptimeMS    float64            `json:"uptimeMs"`
+	Requests    RequestCounts      `json:"requests"`
+	Responses   ResponseCounts     `json:"responses"`
+	InFlight    int64              `json:"inFlight"`
+	QueueDepth  int64              `json:"queueDepth"`
+	Workers     int                `json:"workers"`
+	QueueCap    int                `json:"queueCap"`
+	Admission   AdmissionCounts    `json:"admission"`
+	DesignCache flow.CacheStats    `json:"designCache"`
+	FlowCache   flow.CacheStats    `json:"flowCache"`
+	StagesMS    map[string]float64 `json:"stagesMs"`
+	Engine      EngineRollup       `json:"engine"`
+}
+
+// RequestCounts breaks requests down by endpoint.
+type RequestCounts struct {
+	Synthesize int64 `json:"synthesize"`
+	Batch      int64 `json:"batch"`
+	BatchItems int64 `json:"batchItems"`
+	Healthz    int64 `json:"healthz"`
+	Metrics    int64 `json:"metrics"`
+}
+
+// ResponseCounts breaks responses down by status class.
+type ResponseCounts struct {
+	OK2xx  int64 `json:"2xx"`
+	Err4xx int64 `json:"4xx"`
+	Err5xx int64 `json:"5xx"`
+}
+
+// AdmissionCounts reports load-shedding and interruption activity.
+type AdmissionCounts struct {
+	Shed             int64 `json:"shed"`
+	Canceled         int64 `json:"canceled"`
+	DeadlineExceeded int64 `json:"deadlineExceeded"`
+	Panics           int64 `json:"panics"`
+}
+
+// EngineRollup aggregates production-engine activity across the server's
+// lifetime. CyclesTotal is the process-wide recognize-act cycle counter,
+// which advances even for runs that were interrupted mid-synthesis — the
+// observable proof that cancellation stops the engine.
+type EngineRollup struct {
+	CyclesTotal uint64 `json:"cyclesTotal"`
+	Synthesized int64  `json:"synthesized"`
+	Firings     int64  `json:"firings"`
+	MatchCalls  int64  `json:"matchCalls"`
+	Deltas      int64  `json:"deltas"`
+	Rebuilds    int64  `json:"rebuilds"`
+}
+
+// Metrics snapshots the server's counters.
+func (s *Server) Metrics() MetricsResponse {
+	m := &s.met
+	stages := map[string]float64{}
+	m.stageMu.Lock()
+	for k, v := range m.stageNS {
+		stages[k] = ms(time.Duration(v))
+	}
+	m.stageMu.Unlock()
+	waiting := s.waiting.Load()
+	inflight := s.inflight.Load()
+	return MetricsResponse{
+		UptimeMS: ms(time.Since(s.start)),
+		Requests: RequestCounts{
+			Synthesize: m.synthesize.Load(),
+			Batch:      m.batch.Load(),
+			BatchItems: m.batchItems.Load(),
+			Healthz:    m.healthz.Load(),
+			Metrics:    m.metricsReq.Load(),
+		},
+		Responses: ResponseCounts{
+			OK2xx:  m.ok2xx.Load(),
+			Err4xx: m.err4xx.Load(),
+			Err5xx: m.err5xx.Load(),
+		},
+		InFlight:   inflight,
+		QueueDepth: max64(waiting-inflight, 0),
+		Workers:    s.cfg.Workers,
+		QueueCap:   s.cfg.QueueDepth,
+		Admission: AdmissionCounts{
+			Shed:             m.shed.Load(),
+			Canceled:         m.canceled.Load(),
+			DeadlineExceeded: m.deadlineExceeded.Load(),
+			Panics:           m.panics.Load(),
+		},
+		DesignCache: s.cache.stats(),
+		FlowCache:   flow.FrontCacheStats(),
+		StagesMS:    stages,
+		Engine: EngineRollup{
+			CyclesTotal: prod.TotalEngineCycles(),
+			Synthesized: m.synthesized.Load(),
+			Firings:     m.firings.Load(),
+			MatchCalls:  m.matchCalls.Load(),
+			Deltas:      m.deltas.Load(),
+			Rebuilds:    m.rebuilds.Load(),
+		},
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
