@@ -267,8 +267,8 @@ func BenchmarkProductionEngine(b *testing.B) {
 		eng.AddRule(&prod.Rule{
 			Name:     "consume",
 			Patterns: []prod.Pattern{prod.P("tok").Absent("seen")},
-			Action: func(e *prod.Engine, m *prod.Match) {
-				e.WM.Modify(m.El(0), prod.Attrs{"seen": true})
+			Action: func(e *prod.Tx, m *prod.Match) {
+				e.Modify(m.El(0), prod.Attrs{"seen": true})
 			},
 		})
 		if err := eng.Run(); err != nil {

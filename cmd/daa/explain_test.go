@@ -1,0 +1,69 @@
+package main
+
+// Golden test of -explain: the full provenance listing of every GCD
+// component under the DAA allocator, byte-compared against testdata.
+// Regenerate with: go test ./cmd/daa -run TestExplainGolden -update
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestExplainGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, options{benchName: "gcd", allocator: "daa", explain: "all"}); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	golden := filepath.Join("testdata", "explain_gcd.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("-explain all output differs from %s (run with -update to regenerate):\n--- got ---\n%s", golden, got)
+	}
+}
+
+func TestExplainSelector(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, options{benchName: "gcd", allocator: "daa", explain: "reg X"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "allocate-register-for-carrier") {
+		t.Errorf("explain output missing allocating rule:\n%s", out)
+	}
+	if !strings.Contains(out, `match "reg X"`) {
+		t.Errorf("explain output missing header:\n%s", out)
+	}
+}
+
+func TestJournalFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gcd.jnl")
+	if err := runQuiet(options{benchName: "gcd", allocator: "daa", journal: path, stats: true}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"effect journal for", "phase control", "do place-op("} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("journal file missing %q", want)
+		}
+	}
+}

@@ -15,6 +15,8 @@
 //	daa -bench gcd -engine-stats        print the production-engine metrics
 //	daa -bench gcd -exhaustive          disable incremental matching
 //	daa -bench gcd -stage-timing        print per-stage pipeline wall time
+//	daa -bench gcd -explain "reg X"     why does this component exist?
+//	daa -bench gcd -journal run.jnl     record the effect journal to a file
 //
 // Input problems (unparsable or ill-typed ISPS) are reported with
 // file:line:col positions and a caret under the offending column, and exit
@@ -51,6 +53,8 @@ type options struct {
 	verilog     bool
 	flow        bool
 	stageTiming bool
+	explain     string
+	journal     string
 	remote      string
 	deadline    time.Duration
 }
@@ -70,6 +74,8 @@ func main() {
 	flag.BoolVar(&o.verilog, "verilog", false, "emit the datapath as structural Verilog and exit")
 	flag.BoolVar(&o.flow, "flow", false, "emit the controller state graph as Graphviz and exit")
 	flag.BoolVar(&o.stageTiming, "stage-timing", false, "print wall time per pipeline stage")
+	flag.StringVar(&o.explain, "explain", "", "explain components whose label contains this selector (\"all\" for every component); prints their rule-firing provenance instead of the report")
+	flag.StringVar(&o.journal, "journal", "", "write the effect journal of the run to this file as text")
 	flag.StringVar(&o.remote, "remote", "", "synthesize via a daad daemon at this base URL (e.g. http://localhost:8547)")
 	flag.DurationVar(&o.deadline, "deadline", 0, "per-request synthesis deadline (remote mode; 0 = server default)")
 	flag.Parse()
@@ -95,14 +101,20 @@ func run(w io.Writer, o options) error {
 	}
 	opt := flow.Options{
 		Allocator: o.allocator,
-		Core:      core.Options{DisableCleanup: o.noCleanup, ExhaustiveMatch: o.exhaustive},
+		Core: core.Options{
+			DisableCleanup:  o.noCleanup,
+			ExhaustiveMatch: o.exhaustive,
+			Journal:         o.explain != "" || o.journal != "",
+		},
 	}
 	switch o.allocator {
 	case flow.AllocDAA, flow.AllocLeftEdge, flow.AllocNaive:
 	default:
 		return flow.Usagef("unknown allocator %q (want daa, leftedge, or naive)", o.allocator)
 	}
-	machine := o.verilog || o.flow // machine-readable outputs suppress the report
+	// Machine-readable outputs suppress the report; -explain replaces it
+	// with the provenance listing.
+	machine := o.verilog || o.flow || o.explain != ""
 	if o.trace && !machine {
 		opt.Core.Trace = w
 	}
@@ -129,6 +141,15 @@ func run(w io.Writer, o options) error {
 		if o.engineStats {
 			writeEngineStats(w, res.Synth.Stats, o.exhaustive)
 		}
+	}
+
+	if o.journal != "" {
+		if err := writeJournal(o.journal, res); err != nil {
+			return err
+		}
+	}
+	if o.explain != "" {
+		return writeExplain(w, res, o.explain)
 	}
 
 	if o.verilog {
@@ -179,6 +200,31 @@ func input(inFile, benchName string) (flow.Input, error) {
 	default:
 		return flow.Input{}, flow.Usagef("nothing to synthesize: pass -in file.isps or -bench name (see -list)")
 	}
+}
+
+// writeExplain prints the rule-firing provenance of every component whose
+// label matches sel, through the same core renderer the daemon's
+// GET /v1/explain uses — the listing text is identical in both modes.
+func writeExplain(w io.Writer, res *flow.Result, sel string) error {
+	var sb strings.Builder
+	n := res.Provenance().Explain(&sb, sel)
+	writeExplainHeader(w, res.Design.Name, sel, n)
+	fmt.Fprint(w, sb.String())
+	return nil
+}
+
+// writeExplainHeader prints the one-line summary above an explain listing;
+// local and remote explain share it.
+func writeExplainHeader(w io.Writer, design, sel string, matched int) {
+	fmt.Fprintf(w, "provenance of %s: %d component(s) match %q\n\n", design, matched, sel)
+}
+
+// writeJournal records the run's effect journal to a file in the prod
+// text format.
+func writeJournal(path string, res *flow.Result) error {
+	var b strings.Builder
+	res.Journal().WriteText(&b)
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
 // writeStats prints the per-phase synthesis statistics.

@@ -5,15 +5,20 @@ package main
 // same deterministic report block local runs print (serve.RenderReport),
 // so output is identical apart from the local-only value-trace header and
 // synthesis statistics; positioned diagnostics come back over the wire
-// and render with the same carets and exit codes.
+// and render with the same carets and exit codes. -explain rides along:
+// the synthesize request asks for provenance and the listing is fetched
+// from GET /v1/explain under the key the response returns.
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/flow"
@@ -24,6 +29,9 @@ func runRemote(w io.Writer, in flow.Input, o options) error {
 	if o.trace || o.engineStats {
 		return flow.Usagef("-trace and -engine-stats stream local engine state and are not supported with -remote")
 	}
+	if o.journal != "" {
+		return flow.Usagef("-journal records the local engine's effect journal and is not supported with -remote")
+	}
 	req := serve.SynthesizeRequest{
 		Name:   in.Name,
 		Source: in.Source,
@@ -31,6 +39,7 @@ func runRemote(w io.Writer, in flow.Input, o options) error {
 			Allocator:  o.allocator,
 			NoCleanup:  o.noCleanup,
 			Exhaustive: o.exhaustive,
+			Provenance: o.explain != "",
 		},
 		Artifacts: serve.ArtifactRequest{
 			Verilog:      o.verilog,
@@ -45,6 +54,18 @@ func runRemote(w io.Writer, in flow.Input, o options) error {
 		return err
 	}
 
+	if o.explain != "" {
+		if resp.Provenance == nil {
+			return fmt.Errorf("remote %s: response carries no provenance key (daemon too old?)", o.remote)
+		}
+		ex, err := getExplain(o.remote, resp.Provenance.Key, o.explain)
+		if err != nil {
+			return err
+		}
+		writeExplainHeader(w, ex.Design, o.explain, ex.Matched)
+		fmt.Fprint(w, ex.Text)
+		return nil
+	}
 	if o.verilog {
 		fmt.Fprint(w, resp.Artifacts.Verilog)
 		return nil
@@ -65,6 +86,45 @@ func runRemote(w io.Writer, in flow.Input, o options) error {
 	return nil
 }
 
+// retryBackoff is the pause before the single retry of an idempotent
+// request whose connection failed before any response arrived. Tests
+// shorten it.
+var retryBackoff = 200 * time.Millisecond
+
+// doIdempotent issues the request built by mk and retries exactly once,
+// after a short backoff, when the transport failed before the server
+// produced a response (connection refused or reset, socket dropped
+// mid-flight). Both daemon calls are safe to repeat: synthesize is a
+// cache-keyed pure computation and explain is a GET.
+func doIdempotent(mk func() (*http.Request, error)) (*http.Response, error) {
+	req, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil || !transientConnErr(err) {
+		return resp, err
+	}
+	time.Sleep(retryBackoff)
+	req, err = mk()
+	if err != nil {
+		return nil, err
+	}
+	return http.DefaultClient.Do(req)
+}
+
+// transientConnErr reports whether err is a connection-level failure with
+// no response behind it — the only failures the client retries.
+func transientConnErr(err error) bool {
+	var ue *url.Error
+	if !errors.As(err, &ue) {
+		return false
+	}
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EPIPE)
+}
+
 // postSynthesize sends one request to the daemon and maps error bodies
 // back onto the local error taxonomy (diagnostics exit 2, overload and
 // internal failures exit 3).
@@ -73,8 +133,15 @@ func postSynthesize(base string, req serve.SynthesizeRequest) (*serve.Synthesize
 	if err != nil {
 		return nil, err
 	}
-	url := strings.TrimRight(base, "/") + "/v1/synthesize"
-	httpResp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	endpoint := strings.TrimRight(base, "/") + "/v1/synthesize"
+	httpResp, err := doIdempotent(func() (*http.Request, error) {
+		hr, err := http.NewRequest(http.MethodPost, endpoint, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		return hr, nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("remote %s: %w", base, err)
 	}
@@ -103,6 +170,36 @@ func postSynthesize(base string, req serve.SynthesizeRequest) (*serve.Synthesize
 	}
 	if out.Artifacts == nil {
 		out.Artifacts = &serve.Artifacts{}
+	}
+	return &out, nil
+}
+
+// getExplain fetches the provenance listing of a journaled design by the
+// key the synthesize response returned.
+func getExplain(base, key, sel string) (*serve.ExplainResponse, error) {
+	endpoint := strings.TrimRight(base, "/") + "/v1/explain?key=" +
+		url.QueryEscape(key) + "&sel=" + url.QueryEscape(sel)
+	httpResp, err := doIdempotent(func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, endpoint, nil)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("remote %s: %w", base, err)
+	}
+	defer httpResp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(httpResp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("remote %s: reading response: %w", base, err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		var er serve.ErrorResponse
+		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+			return nil, fmt.Errorf("remote %s: %s (%s)", base, er.Error, er.Kind)
+		}
+		return nil, fmt.Errorf("remote %s: HTTP %d", base, httpResp.StatusCode)
+	}
+	var out serve.ExplainResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("remote %s: malformed response: %w", base, err)
 	}
 	return &out, nil
 }

@@ -1,0 +1,117 @@
+package main
+
+// Remote-mode tests drive run() against a real daad handler behind
+// httptest: the explain round trip renders identically to a local run, and
+// the client's single retry recovers from a connection the server killed
+// before answering.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/serve"
+)
+
+// newDaemon starts a daad handler behind httptest.
+func newDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRemoteReportMatchesLocal(t *testing.T) {
+	ts := newDaemon(t)
+	var local, remote strings.Builder
+	if err := run(&local, options{benchName: "gcd", allocator: "daa"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&remote, options{benchName: "gcd", allocator: "daa", remote: ts.URL}); err != nil {
+		t.Fatal(err)
+	}
+	// The report block is shared; the local run additionally prints the
+	// value-trace header, which remote mode omits.
+	if !strings.Contains(local.String(), remote.String()) {
+		t.Errorf("remote report is not embedded in local output:\n--- local ---\n%s\n--- remote ---\n%s",
+			local.String(), remote.String())
+	}
+}
+
+func TestRemoteExplainMatchesLocal(t *testing.T) {
+	ts := newDaemon(t)
+	var local, remote strings.Builder
+	if err := run(&local, options{benchName: "gcd", allocator: "daa", explain: "all"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&remote, options{benchName: "gcd", allocator: "daa", explain: "all", remote: ts.URL}); err != nil {
+		t.Fatal(err)
+	}
+	if local.String() != remote.String() {
+		t.Errorf("remote explain differs from local:\n--- local ---\n%s\n--- remote ---\n%s",
+			local.String(), remote.String())
+	}
+}
+
+func TestRemoteJournalIsUsageError(t *testing.T) {
+	err := runQuiet(options{benchName: "gcd", allocator: "daa", remote: "http://localhost:1", journal: "x.jnl"})
+	if flow.ExitCode(err) != flow.ExitUsage {
+		t.Errorf("-journal with -remote: exit %d (%v), want usage", flow.ExitCode(err), err)
+	}
+}
+
+// TestRemoteRetriesKilledConnection kills the first TCP connection before
+// writing any response; the client's single retry must complete the run.
+func TestRemoteRetriesKilledConnection(t *testing.T) {
+	oldBackoff := retryBackoff
+	retryBackoff = time.Millisecond
+	defer func() { retryBackoff = oldBackoff }()
+
+	inner := serve.New(serve.Config{}).Handler()
+	var killed atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if killed.CompareAndSwap(false, true) {
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err != nil {
+				t.Errorf("hijack: %v", err)
+				return
+			}
+			conn.Close() // drop the socket with no response bytes
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	var sb strings.Builder
+	if err := run(&sb, options{benchName: "gcd", allocator: "daa", remote: ts.URL}); err != nil {
+		t.Fatalf("run did not survive one killed connection: %v", err)
+	}
+	if !killed.Load() {
+		t.Fatal("test server never killed a connection")
+	}
+	if !strings.Contains(sb.String(), "control steps:") {
+		t.Errorf("retried run produced no report:\n%s", sb.String())
+	}
+}
+
+// TestRemoteDoesNotRetryHTTPErrors pins the retry scope: a served error
+// response (here 404 for an unknown route) is returned, not retried.
+func TestRemoteDoesNotRetryHTTPErrors(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "nope", http.StatusNotFound)
+	}))
+	defer ts.Close()
+	if err := runQuiet(options{benchName: "gcd", allocator: "daa", remote: ts.URL}); err == nil {
+		t.Fatal("expected an error from the 404 daemon")
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("served error was retried: %d requests, want 1", got)
+	}
+}

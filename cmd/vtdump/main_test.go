@@ -11,10 +11,10 @@ import (
 )
 
 func TestDumpBench(t *testing.T) {
-	if err := run(io.Discard, "", "gcd", false); err != nil {
+	if err := run(io.Discard, "", "gcd", false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(io.Discard, "", "gcd", true); err != nil {
+	if err := run(io.Discard, "", "gcd", true, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -25,22 +25,40 @@ func TestDumpFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("processor X { reg A main m { A := 1 } }"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(io.Discard, path, "", false); err != nil {
+	if err := run(io.Discard, path, "", false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
+// TestDumpProvenanceDot checks the annotated DOT mode: operator nodes
+// carry the journaled firings that consumed them.
+func TestDumpProvenanceDot(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "", "gcd", true, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph", "control/", "place-op"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("provenance DOT missing %q:\n%s", want, out)
+		}
+	}
+	if err := run(io.Discard, "", "gcd", false, true); flow.ExitCode(err) != flow.ExitUsage {
+		t.Errorf("-provenance without -dot: exit %d, want usage", flow.ExitCode(err))
+	}
+}
+
 func TestDumpErrors(t *testing.T) {
-	if err := run(io.Discard, "", "", false); flow.ExitCode(err) != flow.ExitUsage {
+	if err := run(io.Discard, "", "", false, false); flow.ExitCode(err) != flow.ExitUsage {
 		t.Errorf("no input: exit %d, want usage", flow.ExitCode(err))
 	}
-	if err := run(io.Discard, "a", "b", false); flow.ExitCode(err) != flow.ExitUsage {
+	if err := run(io.Discard, "a", "b", false, false); flow.ExitCode(err) != flow.ExitUsage {
 		t.Errorf("both inputs: exit %d, want usage", flow.ExitCode(err))
 	}
-	if err := run(io.Discard, "", "nope", false); flow.ExitCode(err) != flow.ExitUsage {
+	if err := run(io.Discard, "", "nope", false, false); flow.ExitCode(err) != flow.ExitUsage {
 		t.Errorf("unknown benchmark: exit %d, want usage", flow.ExitCode(err))
 	}
-	if err := run(io.Discard, "/no/such.isps", "", false); flow.ExitCode(err) != flow.ExitDiagnostic {
+	if err := run(io.Discard, "/no/such.isps", "", false, false); flow.ExitCode(err) != flow.ExitDiagnostic {
 		t.Errorf("unreadable file: exit %d, want diagnostic", flow.ExitCode(err))
 	}
 }
@@ -53,7 +71,7 @@ func TestDumpBadSource(t *testing.T) {
 	if err := os.WriteFile(path, []byte("processor X {\n    reg A<7:0\n}\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := run(io.Discard, path, "", false)
+	err := run(io.Discard, path, "", false, false)
 	if flow.ExitCode(err) != flow.ExitDiagnostic {
 		t.Fatalf("exit %d (%v), want diagnostic", flow.ExitCode(err), err)
 	}

@@ -39,7 +39,7 @@ func main() {
 		Category: "cleanup",
 		Doc:      "Report every ALU the fold rules assembled.",
 		Patterns: []prod.Pattern{prod.P("unit")},
-		Action: func(e *prod.Engine, m *prod.Match) {
+		Action: func(e *prod.Tx, m *prod.Match) {
 			u := m.El(0).Get("unit").(*rtl.Unit)
 			if len(u.Fns) > 1 {
 				findings = append(findings, fmt.Sprintf("ALU %s carries %d functions", u.Name, len(u.Fns)))
@@ -51,7 +51,7 @@ func main() {
 		Category: "cleanup",
 		Doc:      "Report holding registers for manual review.",
 		Patterns: []prod.Pattern{prod.P("hreg")},
-		Action: func(e *prod.Engine, m *prod.Match) {
+		Action: func(e *prod.Tx, m *prod.Match) {
 			r := m.El(0).Get("reg").(*rtl.Register)
 			findings = append(findings, fmt.Sprintf("holding register %s<%d> survived cleanup", r.Name, r.Width))
 		},

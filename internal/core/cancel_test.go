@@ -46,7 +46,7 @@ func TestSynthesizeCancelledBetweenEngineCycles(t *testing.T) {
 		Name:     "cancel-mid-cleanup",
 		Category: "cleanup",
 		Patterns: []prod.Pattern{prod.P("unit")},
-		Action: func(e *prod.Engine, m *prod.Match) {
+		Action: func(e *prod.Tx, m *prod.Match) {
 			fired = true
 			cancel()
 		},

@@ -61,6 +61,10 @@ type Options struct {
 	// incremental one, panicking on any divergence in the selected
 	// instantiation (the equivalence tests use this).
 	CrossCheckMatch bool
+	// Journal records every rule firing's effects and builds the
+	// provenance index; Result.Journal and Result.Provenance are nil
+	// without it. Off by default: the hot path pays only a nil check.
+	Journal bool
 }
 
 // PhaseStats records one phase's execution for experiment E3.
@@ -80,6 +84,7 @@ type Stats struct {
 	Phases          []PhaseStats
 	TotalFirings    int
 	TotalMatchCalls int // pattern tests executed across all phases
+	TotalCycles     int // recognize-act cycles across this run's engines
 	Elapsed         time.Duration
 }
 
@@ -105,6 +110,11 @@ func (s Stats) FiringsPerSecond() float64 {
 type Result struct {
 	Design *rtl.Design
 	Stats  Stats
+	// Journal and Provenance are populated when Options.Journal is set:
+	// the complete effect record of the run and the per-component firing
+	// index built from it.
+	Journal    *Journal
+	Provenance *Provenance
 }
 
 // Synthesize runs the DAA on a value trace and returns the validated
@@ -155,6 +165,15 @@ func SynthesizeContext(ctx context.Context, trace *vt.Program, opt Options) (*Re
 		eng.TraceWriter = opt.Trace
 		eng.Exhaustive = opt.ExhaustiveMatch
 		eng.CrossCheck = opt.CrossCheckMatch
+		eng.Apply = s.applyEffect
+		s.phase = ph.name
+		s.seq = eng.Firings
+		if opt.Journal {
+			s.journal.Phases = append(s.journal.Phases, PhaseJournal{
+				Phase: ph.name,
+				J:     eng.RecordJournal(encodeRef),
+			})
+		}
 		rules := ph.rules()
 		if ph.name == "cleanup" {
 			rules = append(rules, opt.ExtraRules...)
@@ -168,6 +187,11 @@ func SynthesizeContext(ctx context.Context, trace *vt.Program, opt Options) (*Re
 		}
 		if s.err != nil {
 			return nil, fmt.Errorf("core: phase %s: %w", ph.name, s.err)
+		}
+		if s.prov != nil {
+			// Post-phase hooks run outside any firing; rewire attributes
+			// its components explicitly.
+			s.prov.cur = FiringRef{}
 		}
 		if ph.post != nil {
 			if err := ph.post(); err != nil {
@@ -186,12 +210,18 @@ func SynthesizeContext(ctx context.Context, trace *vt.Program, opt Options) (*Re
 		})
 		stats.TotalFirings += eng.Firings()
 		stats.TotalMatchCalls += eng.MatchCount()
+		stats.TotalCycles += eng.Cycles()
 	}
 	stats.Elapsed = time.Since(start)
 	if err := s.d.Validate(); err != nil {
 		return nil, fmt.Errorf("core: synthesized design invalid: %w", err)
 	}
-	return &Result{Design: s.d, Stats: stats}, nil
+	res := &Result{Design: s.d, Stats: stats}
+	if opt.Journal {
+		res.Journal = s.journal
+		res.Provenance = buildProvenance(s.d, s.journal, s.prov)
+	}
+	return res, nil
 }
 
 // KnowledgeBase returns the full rule set grouped by phase, for the
@@ -233,6 +263,15 @@ type synth struct {
 	embed map[*vt.Body]*vt.Op
 	// first error raised by a rule action (halts the engine).
 	err error
+
+	// Journaling and provenance state. phase names the phase whose engine
+	// (or replayer) is running; seq reports the current firing sequence;
+	// journal collects the per-phase effect records; prov attributes
+	// design mutations to firings (nil when journaling is off).
+	phase   string
+	seq     func() int
+	journal *Journal
+	prov    *provTrack
 }
 
 type stepKey struct {
@@ -263,7 +302,7 @@ func newSynth(trace *vt.Program, opt Options) *synth {
 			}
 		}
 	}
-	return &synth{
+	s := &synth{
 		opt:      opt,
 		tr:       trace,
 		d:        rtl.NewDesign(trace.Name+"-daa", trace),
@@ -273,7 +312,21 @@ func newSynth(trace *vt.Program, opt Options) *synth {
 		bodyLen:  map[*vt.Body]int{},
 		unitBusy: map[unitState]bool{},
 		regVals:  map[*rtl.Register][]*vt.Value{},
+		seq:      func() int { return 0 },
 	}
+	if opt.Journal {
+		s.journal = &Journal{Design: s.d.Name}
+		s.prov = newProvTrack()
+		s.d.Observe(func(c any) {
+			if s.prov.cur.Seq == 0 {
+				return
+			}
+			if ref, ok := encodeRef(c); ok {
+				s.prov.created[ref] = s.prov.cur
+			}
+		})
+	}
+	return s
 }
 
 func (s *synth) usage(body *vt.Body, step int) *stepUsage {
@@ -291,9 +344,9 @@ func (s *synth) usage(body *vt.Body, step int) *stepUsage {
 }
 
 // fail records the first rule-action error and halts the engine.
-func (s *synth) fail(e *prod.Engine, err error) {
+func (s *synth) fail(tx *prod.Tx, err error) {
 	if s.err == nil {
 		s.err = err
 	}
-	e.Halt()
+	tx.Halt()
 }

@@ -300,7 +300,7 @@ func TestExtraRulesRun(t *testing.T) {
 		Category: "cleanup",
 		Doc:      "test extension",
 		Patterns: []prod.Pattern{prod.P("unit")},
-		Action: func(e *prod.Engine, m *prod.Match) {
+		Action: func(e *prod.Tx, m *prod.Match) {
 			fired = true
 		},
 	}

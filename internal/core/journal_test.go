@@ -1,0 +1,163 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rtl"
+)
+
+// renderDesign produces a complete textual rendering of a design — the
+// Verilog netlist plus the control table — used as the byte-identity
+// criterion for journal replay.
+func renderDesign(t *testing.T, d *rtl.Design) string {
+	t.Helper()
+	var b strings.Builder
+	if err := d.WriteVerilog(&b, "top"); err != nil {
+		t.Fatalf("render verilog: %v", err)
+	}
+	if err := d.WriteControlTable(&b); err != nil {
+		t.Fatalf("render control table: %v", err)
+	}
+	return b.String()
+}
+
+func TestJournalOffByDefault(t *testing.T) {
+	res := synthesize(t, gcdSrc)
+	if res.Journal != nil || res.Provenance != nil {
+		t.Fatal("journal/provenance populated without Options.Journal")
+	}
+}
+
+func TestJournalReplayByteIdentical(t *testing.T) {
+	res, err := Synthesize(trace(t, gcdSrc), Options{Journal: true})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if res.Journal == nil || res.Provenance == nil {
+		t.Fatal("journal/provenance missing with Options.Journal set")
+	}
+	firings, effects := res.Journal.Counts()
+	if firings != res.Stats.TotalFirings {
+		t.Fatalf("journal firings = %d, stats say %d", firings, res.Stats.TotalFirings)
+	}
+	if effects < firings {
+		t.Fatalf("effects = %d < firings = %d", effects, firings)
+	}
+	replayed, err := Replay(trace(t, gcdSrc), res.Journal, Options{})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	want := renderDesign(t, res.Design)
+	got := renderDesign(t, replayed)
+	if got != want {
+		t.Fatalf("replayed design differs:\n--- recorded ---\n%s\n--- replayed ---\n%s", want, got)
+	}
+}
+
+func TestJournalMatchesUnjournaledRun(t *testing.T) {
+	plain := synthesize(t, gcdSrc)
+	journ, err := Synthesize(trace(t, gcdSrc), Options{Journal: true})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if got, want := renderDesign(t, journ.Design), renderDesign(t, plain.Design); got != want {
+		t.Fatal("journaling changed the synthesized design")
+	}
+}
+
+func TestProvenanceCoversEveryComponent(t *testing.T) {
+	res, err := Synthesize(trace(t, gcdSrc), Options{Journal: true})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if un := res.Provenance.Unattributed(); len(un) > 0 {
+		t.Fatalf("unattributed components: %v", un)
+	}
+	c := res.Design.Counts()
+	total := c.Registers + c.Memories + c.Ports + c.Units + c.States + c.Consts + c.Muxes + c.Junctions + c.Links
+	if len(res.Provenance.Components) != total {
+		t.Fatalf("provenance has %d components, design has %d", len(res.Provenance.Components), total)
+	}
+}
+
+func TestProvenanceExplainSelectsByLabel(t *testing.T) {
+	res, err := Synthesize(trace(t, gcdSrc), Options{Journal: true})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	var b strings.Builder
+	n := res.Provenance.Explain(&b, "reg X")
+	if n == 0 {
+		t.Fatal("no component matched selector \"reg X\"")
+	}
+	out := b.String()
+	if !strings.Contains(out, "allocate-register-for-carrier") {
+		t.Fatalf("explain output missing allocating rule:\n%s", out)
+	}
+	if !strings.Contains(out, "data-memory/") {
+		t.Fatalf("explain output missing phase/seq column:\n%s", out)
+	}
+	var all strings.Builder
+	if got := res.Provenance.Explain(&all, ""); got != len(res.Provenance.Components) {
+		t.Fatalf("empty selector matched %d of %d components", got, len(res.Provenance.Components))
+	}
+}
+
+func TestProvenanceDepthTable(t *testing.T) {
+	res, err := Synthesize(trace(t, gcdSrc), Options{Journal: true})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	rows := res.Provenance.Depth()
+	if len(rows) == 0 {
+		t.Fatal("empty depth table")
+	}
+	kinds := map[string]DepthRow{}
+	for _, r := range rows {
+		kinds[r.Kind] = r
+		if r.Components == 0 {
+			t.Fatalf("kind %s listed with zero components", r.Kind)
+		}
+		if r.Mean <= 0 {
+			t.Fatalf("kind %s has mean depth %v, want > 0", r.Kind, r.Mean)
+		}
+	}
+	if _, ok := kinds["reg"]; !ok {
+		t.Fatal("depth table missing registers")
+	}
+	if _, ok := kinds["state"]; !ok {
+		t.Fatal("depth table missing states")
+	}
+}
+
+func TestJournalWriteText(t *testing.T) {
+	res, err := Synthesize(trace(t, gcdSrc), Options{Journal: true})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	var b strings.Builder
+	res.Journal.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{"effect journal for", "phase control", "do place-op(", "do bind-carrier-reg("} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("journal text missing %q", want)
+		}
+	}
+}
+
+func TestReplayWithExtraRulesJournaled(t *testing.T) {
+	// Extension rules that mutate through Tx are journaled like built-ins
+	// and replay without the rules being present.
+	res, err := Synthesize(trace(t, gcdSrc), Options{Journal: true, DisableCleanup: true})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	replayed, err := Replay(trace(t, gcdSrc), res.Journal, Options{})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if got, want := renderDesign(t, replayed), renderDesign(t, res.Design); got != want {
+		t.Fatal("ablated-run replay differs")
+	}
+}

@@ -51,40 +51,27 @@ func sortRegs(regs []*rtl.Register) {
 }
 
 // mergeRegs folds register r2 into r1 and retires r2.
-func (s *synth) mergeRegs(e *prod.Engine, m *prod.Match, el1, el2 *prod.Element) {
+func (s *synth) mergeRegs(tx *prod.Tx, el1, el2 *prod.Element) {
 	r1 := el1.Get("reg").(*rtl.Register)
 	r2 := el2.Get("reg").(*rtl.Register)
-	if r2.Width > r1.Width {
-		r1.Width = r2.Width
+	if _, err := tx.Do("merge-regs", r1, r2); err != nil {
+		s.fail(tx, err)
+		return
 	}
-	for _, v := range s.regVals[r2] {
-		s.d.ValueReg[v] = r1
-	}
-	s.regVals[r1] = append(s.regVals[r1], s.regVals[r2]...)
-	delete(s.regVals, r2)
-	s.d.RemoveRegister(r2)
-	e.WM.Remove(el2)
-	e.WM.Modify(el1, prod.Attrs{"width": r1.Width})
+	tx.Remove(el2)
+	tx.Modify(el1, prod.Attrs{"width": r1.Width})
 }
 
 // foldUnits folds unit u2 into u1 and retires u2.
-func (s *synth) foldUnits(e *prod.Engine, m *prod.Match, el1, el2 *prod.Element, class string) {
+func (s *synth) foldUnits(tx *prod.Tx, el1, el2 *prod.Element, class string) {
 	u1 := el1.Get("unit").(*rtl.Unit)
 	u2 := el2.Get("unit").(*rtl.Unit)
-	for k := range u2.Fns {
-		u1.Fns[k] = true
+	if _, err := tx.Do("fold-units", u1, u2); err != nil {
+		s.fail(tx, err)
+		return
 	}
-	if u2.Width > u1.Width {
-		u1.Width = u2.Width
-	}
-	for op, u := range s.d.OpUnit {
-		if u == u2 {
-			s.d.OpUnit[op] = u1
-		}
-	}
-	s.d.RemoveUnit(u2)
-	e.WM.Remove(el2)
-	e.WM.Modify(el1, prod.Attrs{"class": class})
+	tx.Remove(el2)
+	tx.Modify(el1, prod.Attrs{"class": class})
 }
 
 func (s *synth) mergePair() func(*prod.Match) bool {
@@ -139,8 +126,8 @@ func (s *synth) cleanupRules() []*prod.Rule {
 				prod.P("hreg").Bind("width", "w"),
 			},
 			Where: s.mergePair(),
-			Action: func(e *prod.Engine, m *prod.Match) {
-				s.mergeRegs(e, m, m.El(0), m.El(1))
+			Action: func(tx *prod.Tx, m *prod.Match) {
+				s.mergeRegs(tx, m.El(0), m.El(1))
 			},
 		},
 		{
@@ -152,8 +139,8 @@ func (s *synth) cleanupRules() []*prod.Rule {
 				prod.P("hreg"),
 			},
 			Where: s.mergePair(),
-			Action: func(e *prod.Engine, m *prod.Match) {
-				s.mergeRegs(e, m, m.El(0), m.El(1))
+			Action: func(tx *prod.Tx, m *prod.Match) {
+				s.mergeRegs(tx, m.El(0), m.El(1))
 			},
 		},
 		{
@@ -165,8 +152,8 @@ func (s *synth) cleanupRules() []*prod.Rule {
 				prod.P("unit").Eq("class", "arith"),
 			},
 			Where: s.foldPair("arith", "arith"),
-			Action: func(e *prod.Engine, m *prod.Match) {
-				s.foldUnits(e, m, m.El(0), m.El(1), "arith")
+			Action: func(tx *prod.Tx, m *prod.Match) {
+				s.foldUnits(tx, m.El(0), m.El(1), "arith")
 			},
 		},
 		{
@@ -178,8 +165,8 @@ func (s *synth) cleanupRules() []*prod.Rule {
 				prod.P("unit").Eq("class", "logic"),
 			},
 			Where: s.foldPair("logic", "logic"),
-			Action: func(e *prod.Engine, m *prod.Match) {
-				s.foldUnits(e, m, m.El(0), m.El(1), "logic")
+			Action: func(tx *prod.Tx, m *prod.Match) {
+				s.foldUnits(tx, m.El(0), m.El(1), "logic")
 			},
 		},
 		{
@@ -191,8 +178,8 @@ func (s *synth) cleanupRules() []*prod.Rule {
 				prod.P("unit").Eq("class", "compare"),
 			},
 			Where: s.foldPair("compare", "compare"),
-			Action: func(e *prod.Engine, m *prod.Match) {
-				s.foldUnits(e, m, m.El(0), m.El(1), "compare")
+			Action: func(tx *prod.Tx, m *prod.Match) {
+				s.foldUnits(tx, m.El(0), m.El(1), "compare")
 			},
 		},
 		{
@@ -204,8 +191,8 @@ func (s *synth) cleanupRules() []*prod.Rule {
 				prod.P("unit").Eq("class", "shift"),
 			},
 			Where: s.foldPair("shift", "shift"),
-			Action: func(e *prod.Engine, m *prod.Match) {
-				s.foldUnits(e, m, m.El(0), m.El(1), "shift")
+			Action: func(tx *prod.Tx, m *prod.Match) {
+				s.foldUnits(tx, m.El(0), m.El(1), "shift")
 			},
 		},
 		{
@@ -217,8 +204,8 @@ func (s *synth) cleanupRules() []*prod.Rule {
 				prod.P("unit").Eq("class", "compare"),
 			},
 			Where: s.foldPair("arith", "compare"),
-			Action: func(e *prod.Engine, m *prod.Match) {
-				s.foldUnits(e, m, m.El(0), m.El(1), "arith")
+			Action: func(tx *prod.Tx, m *prod.Match) {
+				s.foldUnits(tx, m.El(0), m.El(1), "arith")
 			},
 		},
 		{
@@ -230,8 +217,8 @@ func (s *synth) cleanupRules() []*prod.Rule {
 				prod.P("unit").Eq("class", "logic"),
 			},
 			Where: s.foldPair("arith", "logic"),
-			Action: func(e *prod.Engine, m *prod.Match) {
-				s.foldUnits(e, m, m.El(0), m.El(1), "arith")
+			Action: func(tx *prod.Tx, m *prod.Match) {
+				s.foldUnits(tx, m.El(0), m.El(1), "arith")
 			},
 		},
 	}

@@ -71,8 +71,10 @@ func (s *synth) seedControl(wm *prod.WM) {
 	}
 }
 
-// placeNext places the matched operator and advances the body cursor.
-func (s *synth) placeNext(e *prod.Engine, m *prod.Match) {
+// placeNext chooses the earliest feasible step for the matched operator
+// (the decision), applies it through the place-op effect, and advances the
+// body cursor.
+func (s *synth) placeNext(tx *prod.Tx, m *prod.Match) {
 	bodyEl, opEl := m.El(0), m.El(1)
 	op := opEl.Get("op").(*vt.Op)
 	step := 0
@@ -88,13 +90,12 @@ func (s *synth) placeNext(e *prod.Engine, m *prod.Match) {
 	for !s.fitsStep(op, step) {
 		step++
 	}
-	s.markStep(op, step)
-	s.opStep[op] = step
-	if step+1 > s.bodyLen[op.Body] {
-		s.bodyLen[op.Body] = step + 1
+	if _, err := tx.Do("place-op", op, step); err != nil {
+		s.fail(tx, err)
+		return
 	}
-	e.WM.Remove(opEl)
-	e.WM.Modify(bodyEl, prod.Attrs{"cursor": bodyEl.Int("cursor") + 1})
+	tx.Remove(opEl)
+	tx.Modify(bodyEl, prod.Attrs{"cursor": bodyEl.Int("cursor") + 1})
 }
 
 func (s *synth) fitsStep(op *vt.Op, step int) bool {
@@ -177,7 +178,7 @@ func (s *synth) controlRules() []*prod.Rule {
 			Patterns: []prod.Pattern{
 				prod.P("body").Bind("cursor", "n").Bind("count", "n"),
 			},
-			Action: func(e *prod.Engine, m *prod.Match) { e.WM.Remove(m.El(0)) },
+			Action: func(tx *prod.Tx, m *prod.Match) { tx.Remove(m.El(0)) },
 		},
 	}
 }

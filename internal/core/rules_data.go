@@ -31,10 +31,13 @@ func (s *synth) dataMemoryRules() []*prod.Rule {
 			Category: "data-memory",
 			Doc:      "Every register carrier of the description gets a hardware register of the same width.",
 			Patterns: []prod.Pattern{prod.P("carrier").Eq("kind", "reg").Absent("bound")},
-			Action: func(e *prod.Engine, m *prod.Match) {
+			Action: func(tx *prod.Tx, m *prod.Match) {
 				car := m.El(0).Get("car").(*vt.Carrier)
-				s.d.CarrierReg[car] = s.d.AddRegister(car.Name, car.Width)
-				e.WM.Modify(m.El(0), prod.Attrs{"bound": true})
+				if _, err := tx.Do("bind-carrier-reg", car); err != nil {
+					s.fail(tx, err)
+					return
+				}
+				tx.Modify(m.El(0), prod.Attrs{"bound": true})
 			},
 		},
 		{
@@ -42,10 +45,13 @@ func (s *synth) dataMemoryRules() []*prod.Rule {
 			Category: "data-memory",
 			Doc:      "Memory carriers become single-port RAM arrays of the declared geometry.",
 			Patterns: []prod.Pattern{prod.P("carrier").Eq("kind", "mem").Absent("bound")},
-			Action: func(e *prod.Engine, m *prod.Match) {
+			Action: func(tx *prod.Tx, m *prod.Match) {
 				car := m.El(0).Get("car").(*vt.Carrier)
-				s.d.CarrierMem[car] = s.d.AddMemory(car.Name, car.Width, car.Words)
-				e.WM.Modify(m.El(0), prod.Attrs{"bound": true})
+				if _, err := tx.Do("bind-carrier-mem", car); err != nil {
+					s.fail(tx, err)
+					return
+				}
+				tx.Modify(m.El(0), prod.Attrs{"bound": true})
 			},
 		},
 		{
@@ -53,10 +59,13 @@ func (s *synth) dataMemoryRules() []*prod.Rule {
 			Category: "data-memory",
 			Doc:      "Input carriers become external input pins.",
 			Patterns: []prod.Pattern{prod.P("carrier").Eq("kind", "port-in").Absent("bound")},
-			Action: func(e *prod.Engine, m *prod.Match) {
+			Action: func(tx *prod.Tx, m *prod.Match) {
 				car := m.El(0).Get("car").(*vt.Carrier)
-				s.d.CarrierPort[car] = s.d.AddPort(car.Name, car.Width, true)
-				e.WM.Modify(m.El(0), prod.Attrs{"bound": true})
+				if _, err := tx.Do("bind-carrier-port", car, true); err != nil {
+					s.fail(tx, err)
+					return
+				}
+				tx.Modify(m.El(0), prod.Attrs{"bound": true})
 			},
 		},
 		{
@@ -64,10 +73,13 @@ func (s *synth) dataMemoryRules() []*prod.Rule {
 			Category: "data-memory",
 			Doc:      "Output carriers become external output pins.",
 			Patterns: []prod.Pattern{prod.P("carrier").Eq("kind", "port-out").Absent("bound")},
-			Action: func(e *prod.Engine, m *prod.Match) {
+			Action: func(tx *prod.Tx, m *prod.Match) {
 				car := m.El(0).Get("car").(*vt.Carrier)
-				s.d.CarrierPort[car] = s.d.AddPort(car.Name, car.Width, false)
-				e.WM.Modify(m.El(0), prod.Attrs{"bound": true})
+				if _, err := tx.Do("bind-carrier-port", car, false); err != nil {
+					s.fail(tx, err)
+					return
+				}
+				tx.Modify(m.El(0), prod.Attrs{"bound": true})
 			},
 		},
 	}

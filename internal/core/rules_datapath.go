@@ -74,13 +74,13 @@ func sortValues(vals []*vt.Value) {
 }
 
 // routeTask wires one operator's transfers and retires the task element.
-func (s *synth) routeTask(e *prod.Engine, m *prod.Match) {
+func (s *synth) routeTask(tx *prod.Tx, m *prod.Match) {
 	op := m.El(0).Get("op").(*vt.Op)
-	if err := s.routeOp(op); err != nil {
-		s.fail(e, err)
+	if _, err := tx.Do("route-op", op); err != nil {
+		s.fail(tx, err)
 		return
 	}
-	e.WM.Modify(m.El(0), prod.Attrs{"routed": true})
+	tx.Modify(m.El(0), prod.Attrs{"routed": true})
 }
 
 func (s *synth) routeRule(name, class, doc string) *prod.Rule {
@@ -102,10 +102,13 @@ func (s *synth) datapathRules() []*prod.Rule {
 			Category: "datapath",
 			Doc:      "A constant consumed by the datapath becomes a hardwired source.",
 			Patterns: []prod.Pattern{prod.P("constant").Absent("done")},
-			Action: func(e *prod.Engine, m *prod.Match) {
+			Action: func(tx *prod.Tx, m *prod.Match) {
 				el := m.El(0)
-				s.d.AddConst(uint64(el.Int("value")), el.Int("width"))
-				e.WM.Modify(el, prod.Attrs{"done": true})
+				if _, err := tx.Do("add-const", el.Int("value"), el.Int("width")); err != nil {
+					s.fail(tx, err)
+					return
+				}
+				tx.Modify(el, prod.Attrs{"done": true})
 			},
 		},
 		{
@@ -115,10 +118,13 @@ func (s *synth) datapathRules() []*prod.Rule {
 			Patterns: []prod.Pattern{
 				prod.P("task").Eq("class", "compute").Eq("commutative", true).Absent("routed"),
 			},
-			Action: func(e *prod.Engine, m *prod.Match) {
+			Action: func(tx *prod.Tx, m *prod.Match) {
 				op := m.El(0).Get("op").(*vt.Op)
-				s.orientOp(op)
-				s.routeTask(e, m)
+				if _, err := tx.Do("orient-op", op, s.orientSwap(op)); err != nil {
+					s.fail(tx, err)
+					return
+				}
+				s.routeTask(tx, m)
 			},
 		},
 		s.routeRule("route-computation-operands", "compute",
@@ -134,13 +140,13 @@ func (s *synth) datapathRules() []*prod.Rule {
 			Category: "datapath",
 			Doc:      "Wire a step-crossing value from its producer into its holding register.",
 			Patterns: []prod.Pattern{prod.P("park").Absent("routed")},
-			Action: func(e *prod.Engine, m *prod.Match) {
+			Action: func(tx *prod.Tx, m *prod.Match) {
 				v := m.El(0).Get("val").(*vt.Value)
-				if err := s.routePark(v); err != nil {
-					s.fail(e, err)
+				if _, err := tx.Do("route-park", v); err != nil {
+					s.fail(tx, err)
 					return
 				}
-				e.WM.Modify(m.El(0), prod.Attrs{"routed": true})
+				tx.Modify(m.El(0), prod.Attrs{"routed": true})
 			},
 		},
 	}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/prod"
 	"repro/internal/rtl"
 	"repro/internal/vt"
@@ -73,18 +71,16 @@ func (s *synth) allocateRule(name, class, doc string) *prod.Rule {
 			op := m.El(0).Get("op").(*vt.Op)
 			return s.freeUnit(op.Kind, s.d.OpState[op]) == nil
 		},
-		Action: func(e *prod.Engine, m *prod.Match) {
+		Action: func(tx *prod.Tx, m *prod.Match) {
 			op := m.El(0).Get("op").(*vt.Op)
-			n := 0
-			for _, u := range s.d.Units {
-				if u.Has(op.Kind) {
-					n++
-				}
+			res, err := tx.Do("alloc-unit", op)
+			if err != nil {
+				s.fail(tx, err)
+				return
 			}
-			u := s.d.AddUnit(fmt.Sprintf("%s%d", op.Kind, n), unitWidthFor(op), op.Kind)
-			s.bindOpToUnit(op, u)
-			e.WM.Make("unit", prod.Attrs{"unit": u, "kind": op.Kind.String(), "class": class})
-			e.WM.Modify(m.El(0), prod.Attrs{"bound": true})
+			u := res.(*rtl.Unit)
+			tx.Make("unit", prod.Attrs{"unit": u, "kind": op.Kind.String(), "class": class})
+			tx.Modify(m.El(0), prod.Attrs{"bound": true})
 		},
 	}
 }
@@ -103,11 +99,14 @@ func (s *synth) operatorRules() []*prod.Rule {
 			u := m.El(1).Get("unit").(*rtl.Unit)
 			return !s.unitBusy[unitState{u, s.d.OpState[op]}]
 		},
-		Action: func(e *prod.Engine, m *prod.Match) {
+		Action: func(tx *prod.Tx, m *prod.Match) {
 			op := m.El(0).Get("op").(*vt.Op)
 			u := m.El(1).Get("unit").(*rtl.Unit)
-			s.bindOpToUnit(op, u)
-			e.WM.Modify(m.El(0), prod.Attrs{"bound": true})
+			if _, err := tx.Do("bind-op-unit", op, u); err != nil {
+				s.fail(tx, err)
+				return
+			}
+			tx.Modify(m.El(0), prod.Attrs{"bound": true})
 		},
 	}
 	return []*prod.Rule{

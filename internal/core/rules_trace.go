@@ -54,12 +54,12 @@ func (s *synth) traceRules() []*prod.Rule {
 				zi := constArg(op, 0)
 				return zi >= 0 && op.Args[1-zi].Width > 1
 			},
-			Action: func(e *prod.Engine, m *prod.Match) {
-				if err := vt.BecomeTest(topOp(m)); err != nil {
-					s.fail(e, err)
+			Action: func(tx *prod.Tx, m *prod.Match) {
+				if _, err := tx.Do("become-test", topOp(m)); err != nil {
+					s.fail(tx, err)
 					return
 				}
-				e.WM.Modify(m.El(0), prod.Attrs{"kind": "test"})
+				tx.Modify(m.El(0), prod.Attrs{"kind": "test"})
 			},
 		},
 		{
@@ -72,14 +72,14 @@ func (s *synth) traceRules() []*prod.Rule {
 				zi := constArg(op, 0)
 				return zi >= 0 && op.Args[1-zi].Width == 1
 			},
-			Action: func(e *prod.Engine, m *prod.Match) {
+			Action: func(tx *prod.Tx, m *prod.Match) {
 				op := topOp(m)
 				other := op.Args[1-constArg(op, 0)]
-				if err := vt.ReplaceUses(s.tr, op.Result, other); err != nil {
-					s.fail(e, err)
+				if _, err := tx.Do("replace-uses", op.Result, other); err != nil {
+					s.fail(tx, err)
 					return
 				}
-				e.WM.Modify(m.El(0), prod.Attrs{"kind": "dead-candidate"})
+				tx.Modify(m.El(0), prod.Attrs{"kind": "dead-candidate"})
 			},
 		},
 		{
@@ -92,14 +92,14 @@ func (s *synth) traceRules() []*prod.Rule {
 				oi := constArg(op, 1)
 				return oi >= 0 && op.Args[oi].Width == 1 && op.Args[1-oi].Width == 1
 			},
-			Action: func(e *prod.Engine, m *prod.Match) {
+			Action: func(tx *prod.Tx, m *prod.Match) {
 				op := topOp(m)
 				other := op.Args[1-constArg(op, 1)]
-				if err := vt.ReplaceUses(s.tr, op.Result, other); err != nil {
-					s.fail(e, err)
+				if _, err := tx.Do("replace-uses", op.Result, other); err != nil {
+					s.fail(tx, err)
 					return
 				}
-				e.WM.Modify(m.El(0), prod.Attrs{"kind": "dead-candidate"})
+				tx.Modify(m.El(0), prod.Attrs{"kind": "dead-candidate"})
 			},
 		},
 		{
@@ -112,12 +112,12 @@ func (s *synth) traceRules() []*prod.Rule {
 				zi := constArg(op, 0)
 				return zi >= 0 && op.Args[zi].Width == 1 && op.Args[1-zi].Width == 1
 			},
-			Action: func(e *prod.Engine, m *prod.Match) {
-				if err := vt.BecomeNot(topOp(m)); err != nil {
-					s.fail(e, err)
+			Action: func(tx *prod.Tx, m *prod.Match) {
+				if _, err := tx.Do("become-not", topOp(m)); err != nil {
+					s.fail(tx, err)
 					return
 				}
-				e.WM.Modify(m.El(0), prod.Attrs{"kind": "not"})
+				tx.Modify(m.El(0), prod.Attrs{"kind": "not"})
 			},
 		},
 		{
@@ -146,18 +146,18 @@ func (s *synth) traceRules() []*prod.Rule {
 				other := op.Args[1-zi]
 				return other.Width == op.Result.Width
 			},
-			Action: func(e *prod.Engine, m *prod.Match) {
+			Action: func(tx *prod.Tx, m *prod.Match) {
 				op := topOp(m)
 				zi := constArg(op, 0)
 				if op.Kind == vt.OpSub {
 					zi = 1
 				}
 				other := op.Args[1-zi]
-				if err := vt.ReplaceUses(s.tr, op.Result, other); err != nil {
-					s.fail(e, err)
+				if _, err := tx.Do("replace-uses", op.Result, other); err != nil {
+					s.fail(tx, err)
 					return
 				}
-				e.WM.Modify(m.El(0), prod.Attrs{"kind": "dead-candidate"})
+				tx.Modify(m.El(0), prod.Attrs{"kind": "dead-candidate"})
 			},
 		},
 		{
@@ -180,12 +180,12 @@ func (s *synth) traceRules() []*prod.Rule {
 				}
 				return true
 			},
-			Action: func(e *prod.Engine, m *prod.Match) {
-				if err := vt.RemoveOp(s.tr, topOp(m)); err != nil {
-					s.fail(e, err)
+			Action: func(tx *prod.Tx, m *prod.Match) {
+				if _, err := tx.Do("remove-op", topOp(m)); err != nil {
+					s.fail(tx, err)
 					return
 				}
-				e.WM.Remove(m.El(0))
+				tx.Remove(m.El(0))
 			},
 		},
 	}

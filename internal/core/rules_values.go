@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/bind"
 	"repro/internal/prod"
 	"repro/internal/rtl"
@@ -44,17 +42,16 @@ func (s *synth) valueRules() []*prod.Rule {
 			prod.P("track").Bind("body", "b").Bind("hi", "th"),
 		},
 		Where: func(m *prod.Match) bool { return m.Int("th") <= m.Int("lo") },
-		Action: func(e *prod.Engine, m *prod.Match) {
+		Action: func(tx *prod.Tx, m *prod.Match) {
 			valEl, trEl := m.El(0), m.El(1)
 			v := valEl.Get("val").(*vt.Value)
 			r := trEl.Get("reg").(*rtl.Register)
-			if v.Width > r.Width {
-				r.Width = v.Width
+			if _, err := tx.Do("share-value-reg", v, r); err != nil {
+				s.fail(tx, err)
+				return
 			}
-			s.d.ValueReg[v] = r
-			s.regVals[r] = append(s.regVals[r], v)
-			e.WM.Modify(trEl, prod.Attrs{"hi": valEl.Int("hi")})
-			e.WM.Modify(valEl, prod.Attrs{"bound": true})
+			tx.Modify(trEl, prod.Attrs{"hi": valEl.Int("hi")})
+			tx.Modify(valEl, prod.Attrs{"bound": true})
 		},
 	}
 	allocate := &prod.Rule{
@@ -62,18 +59,20 @@ func (s *synth) valueRules() []*prod.Rule {
 		Category: "values",
 		Doc:      "No register of this body is free over the value's lifetime: allocate a new holding register.",
 		Patterns: []prod.Pattern{prod.P("value").Absent("bound")},
-		Action: func(e *prod.Engine, m *prod.Match) {
+		Action: func(tx *prod.Tx, m *prod.Match) {
 			valEl := m.El(0)
 			v := valEl.Get("val").(*vt.Value)
-			r := s.d.AddRegister(fmt.Sprintf("t%d", len(s.regVals)), v.Width)
-			s.d.ValueReg[v] = r
-			s.regVals[r] = append(s.regVals[r], v)
-			e.WM.Make("track", prod.Attrs{
-				"reg":  r,
+			res, err := tx.Do("alloc-value-reg", v)
+			if err != nil {
+				s.fail(tx, err)
+				return
+			}
+			tx.Make("track", prod.Attrs{
+				"reg":  res.(*rtl.Register),
 				"body": valEl.Get("body"),
 				"hi":   valEl.Int("hi"),
 			})
-			e.WM.Modify(valEl, prod.Attrs{"bound": true})
+			tx.Modify(valEl, prod.Attrs{"bound": true})
 		},
 	}
 	return []*prod.Rule{share, allocate}

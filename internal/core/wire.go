@@ -64,12 +64,13 @@ func (s *synth) missingRoutes(v *vt.Value, st *rtl.State, dst rtl.Endpoint) int 
 	return n
 }
 
-// orientOp swaps the operands of a two-argument commutative operator when
-// the swapped orientation reuses strictly more existing links — the DAA's
-// commutativity rule.
-func (s *synth) orientOp(op *vt.Op) {
+// orientSwap decides whether the operands of a two-argument commutative
+// operator should swap: true when the swapped orientation reuses strictly
+// more existing links — the DAA's commutativity rule. The swap itself is
+// the orient-op effect (or orientOp for the rewire pass).
+func (s *synth) orientSwap(op *vt.Op) bool {
 	if len(op.Args) != 2 || !op.Kind.IsCommutative() || !op.Kind.IsCompute() {
-		return
+		return false
 	}
 	u := s.d.OpUnit[op]
 	st := s.d.OpState[op]
@@ -77,7 +78,13 @@ func (s *synth) orientOp(op *vt.Op) {
 	p1 := rtl.Endpoint{Kind: rtl.EPUnitIn, Comp: u, Index: 1}
 	direct := s.missingRoutes(op.Args[0], st, p0) + s.missingRoutes(op.Args[1], st, p1)
 	swapped := s.missingRoutes(op.Args[0], st, p1) + s.missingRoutes(op.Args[1], st, p0)
-	if swapped < direct {
+	return swapped < direct
+}
+
+// orientOp applies orientSwap in place (the rewire pass re-decides against
+// the merged design, so decision and application stay together here).
+func (s *synth) orientOp(op *vt.Op) {
+	if s.orientSwap(op) {
 		op.Args[0], op.Args[1] = op.Args[1], op.Args[0]
 	}
 }
@@ -127,6 +134,9 @@ func (s *synth) routePark(v *vt.Value) error {
 
 // rewire rebuilds the entire interconnect from the (possibly merged)
 // bindings, re-applying the commutativity rule against the growing design.
+// With provenance on, each rebuilt component is attributed to the firing
+// that last routed (or, failing that, placed) the operator or value whose
+// rebuild creates it.
 func (s *synth) rewire() error {
 	s.d.Links = nil
 	s.d.Muxes = nil
@@ -134,15 +144,28 @@ func (s *synth) rewire() error {
 	s.d.Junctions = nil
 	s.d.OpJunction = map[*vt.Op]*rtl.Junction{}
 	for _, op := range s.tr.AllOps() {
+		if s.prov != nil {
+			fr, ok := s.prov.opRoute[op]
+			if !ok {
+				fr = s.prov.opPlace[op]
+			}
+			s.prov.cur = fr
+		}
 		s.orientOp(op)
 		if err := s.routeOp(op); err != nil {
 			return err
 		}
 	}
 	for _, v := range bind.CrossingValues(s.d) {
+		if s.prov != nil {
+			s.prov.cur = s.prov.parkRoute[v]
+		}
 		if err := s.routePark(v); err != nil {
 			return err
 		}
+	}
+	if s.prov != nil {
+		s.prov.cur = FiringRef{}
 	}
 	return nil
 }

@@ -463,6 +463,42 @@ func RenderStageTiming(w io.Writer, names ...string) error {
 	return nil
 }
 
+// ProvenanceDepth runs a journaled synthesis of one benchmark and returns
+// the provenance-depth table: firings per final component, by kind and
+// phase. It renders from the same provenance index as daa -explain and
+// daad GET /v1/explain.
+func ProvenanceDepth(benchName string) ([]core.DepthRow, error) {
+	res, err := compileBench(context.Background(), benchName,
+		flow.Options{Core: core.Options{Journal: true}})
+	if err != nil {
+		return nil, err
+	}
+	return res.Provenance().Depth(), nil
+}
+
+// RenderProvenanceDepth prints the provenance-depth table.
+func RenderProvenanceDepth(w io.Writer, benchName string) error {
+	rows, err := ProvenanceDepth(benchName)
+	if err != nil {
+		return err
+	}
+	t := report.New(fmt.Sprintf("provenance depth — rule firings per final component (%s)", benchName),
+		"kind", "components", "total firings", "mean", "top phase")
+	for _, r := range rows {
+		top, topN := "-", 0
+		for _, phase := range core.PhaseOrder {
+			if n := r.ByPhase[phase]; n > topN {
+				top, topN = phase, n
+			}
+		}
+		t.Row(r.Kind, r.Components, r.Total, fmt.Sprintf("%.1f", r.Mean),
+			fmt.Sprintf("%s (%d)", top, topN))
+	}
+	t.Note("From the effect journal: every component of the final design indexed by the firings that built it.")
+	t.Render(w)
+	return nil
+}
+
 // All renders every experiment, Table 2/3 and Figure 1 on the paper's
 // MCS6502 case study.
 func All(w io.Writer) error {
@@ -486,6 +522,9 @@ func All(w io.Writer) error {
 		return err
 	}
 	if err := RenderStageTiming(w); err != nil {
+		return err
+	}
+	if err := RenderProvenanceDepth(w, "mcs6502"); err != nil {
 		return err
 	}
 	return RenderEngineMetrics(w, "mcs6502")

@@ -166,6 +166,24 @@ type Result struct {
 	Trace Trace
 }
 
+// Journal returns the run's effect journal, or nil when the DAA did not
+// run or Options.Core.Journal was off.
+func (r *Result) Journal() *core.Journal {
+	if r.Synth == nil {
+		return nil
+	}
+	return r.Synth.Journal
+}
+
+// Provenance returns the run's provenance index, or nil when the DAA did
+// not run or Options.Core.Journal was off.
+func (r *Result) Provenance() *core.Provenance {
+	if r.Synth == nil {
+		return nil
+	}
+	return r.Synth.Provenance
+}
+
 // Compile runs the full pipeline on one input. Input errors (parse, sema,
 // trace build/validation, design validation) return a DiagnosticList;
 // context cancellation returns the context's error unwrapped.

@@ -159,7 +159,7 @@ func TestCompileCancelledBetweenEngineCycles(t *testing.T) {
 		Name:     "cancel-mid-cleanup",
 		Category: "cleanup",
 		Patterns: []prod.Pattern{prod.P("unit")},
-		Action:   func(e *prod.Engine, m *prod.Match) { cancel() },
+		Action:   func(e *prod.Tx, m *prod.Match) { cancel() },
 	}
 	res, err := flow.Compile(ctx, mustInput(t, "gcd"), flow.Options{
 		Core: core.Options{ExtraRules: []*prod.Rule{trip}},

@@ -43,9 +43,9 @@ func (o Options) Key() string {
 		alloc = AllocDAA
 	}
 	fmt.Fprintf(&b, "alloc=%s", alloc)
-	fmt.Fprintf(&b, ";trace-rules=%t;cleanup=%t;exhaustive=%t;crosscheck=%t",
+	fmt.Fprintf(&b, ";trace-rules=%t;cleanup=%t;exhaustive=%t;crosscheck=%t;journal=%t",
 		!o.Core.DisableTraceRules, !o.Core.DisableCleanup,
-		o.Core.ExhaustiveMatch, o.Core.CrossCheckMatch)
+		o.Core.ExhaustiveMatch, o.Core.CrossCheckMatch, o.Core.Journal)
 	b.WriteString(";core-limits=")
 	writeLimits(&b, o.Core.Limits)
 	b.WriteString(";alloc-limits=")

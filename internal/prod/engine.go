@@ -21,9 +21,11 @@ type Rule struct {
 	// read state outside working memory (the DAA rules consult the growing
 	// RTL design); it must not mutate anything.
 	Where func(*Match) bool
-	// Action fires the rule. It may make/modify/remove elements and halt
-	// the engine.
-	Action func(*Engine, *Match)
+	// Action fires the rule. It receives a transaction handle: every
+	// working-memory operation (make/modify/remove), halt, and registered
+	// host effect (Tx.Do) goes through the Tx, which is how the effect
+	// journal sees them.
+	Action func(*Tx, *Match)
 
 	index       int
 	specificity int
@@ -71,6 +73,11 @@ type Engine struct {
 	// instantiation. It is a verification mode: roughly the cost of both
 	// matchers combined.
 	CrossCheck bool
+	// Apply, when non-nil, executes registered host effects on behalf of
+	// Tx.Do. Hosts install one dispatcher mapping effect names to appliers;
+	// appliers must be pure applications of decisions already in the
+	// arguments (no re-deciding), because replay re-invokes them verbatim.
+	Apply func(name string, args []any) (any, error)
 
 	halted     bool
 	fired      map[refraction]bool
@@ -95,6 +102,14 @@ type Engine struct {
 	needFull []bool
 	touched  [][]*Element
 	seeded   bool
+
+	// Journal-recording state: jr is the journal being filled (nil when
+	// recording is off), jrEnc the host value encoder, cur the firing
+	// currently executing (working-memory changes outside a firing are
+	// attributed to the seed).
+	jr    *Journal
+	jrEnc func(any) (Ref, bool)
+	cur   *Firing
 
 	met engineMetrics
 }
@@ -130,7 +145,12 @@ func NewEngine(wm *WM) *Engine {
 		subClass:   map[string][]int{},
 		subAttr:    map[classAttr][]int{},
 	}
-	wm.Observe(func(c Change) { e.pending = append(e.pending, c) })
+	wm.Observe(func(c Change) {
+		e.pending = append(e.pending, c)
+		if e.jr != nil {
+			e.recordChange(c)
+		}
+	})
 	return e
 }
 
@@ -259,7 +279,21 @@ func (e *Engine) Run() error {
 		if e.TraceWriter != nil {
 			fmt.Fprintf(e.TraceWriter, "%6d  %-40s %s\n", e.firings, m.Rule.Name, matchIDs(m))
 		}
-		m.Rule.Action(e, m)
+		tx := &Tx{e: e, m: m}
+		if e.jr != nil {
+			f := &Firing{Seq: e.firings, Cycle: e.cycles, Rule: m.Rule.Name}
+			f.Elements = make([]int, len(m.Elements))
+			for i, el := range m.Elements {
+				f.Elements[i] = el.ID
+			}
+			for i, n := range m.binds.names {
+				f.Bindings = append(f.Bindings, Binding{Name: n, Val: e.encodeVal(m.binds.vals[i])})
+			}
+			e.jr.Firings = append(e.jr.Firings, f)
+			e.cur = f
+		}
+		m.Rule.Action(tx, m)
+		e.cur = nil
 	}
 	return nil
 }

@@ -88,9 +88,9 @@ func TestEngineSimpleFire(t *testing.T) {
 	eng.AddRule(&Rule{
 		Name:     "decrement",
 		Patterns: []Pattern{P("n").Pred("v", func(v any) bool { return v.(int) > 0 })},
-		Action: func(e *Engine, m *Match) {
+		Action: func(e *Tx, m *Match) {
 			fired++
-			e.WM.Modify(m.El(0), Attrs{"v": m.El(0).Int("v") - 1})
+			e.WM().Modify(m.El(0), Attrs{"v": m.El(0).Int("v") - 1})
 		},
 	})
 	run(t, eng)
@@ -110,7 +110,7 @@ func TestRefractionPreventsRefire(t *testing.T) {
 	eng.AddRule(&Rule{
 		Name:     "once",
 		Patterns: []Pattern{P("x").Eq("a", 1)},
-		Action:   func(e *Engine, m *Match) { fired++ }, // no WM change
+		Action:   func(e *Tx, m *Match) { fired++ }, // no WM change
 	})
 	run(t, eng)
 	if fired != 1 {
@@ -126,10 +126,10 @@ func TestModifyReenablesRule(t *testing.T) {
 	eng.AddRule(&Rule{
 		Name:     "watch",
 		Patterns: []Pattern{P("x").Eq("a", 1)},
-		Action: func(e *Engine, m *Match) {
+		Action: func(e *Tx, m *Match) {
 			fired++
 			if fired == 1 {
-				e.WM.Modify(x, Attrs{"b": true}) // 'a' still 1: matches again
+				e.WM().Modify(x, Attrs{"b": true}) // 'a' still 1: matches again
 			}
 		},
 	})
@@ -148,7 +148,7 @@ func TestRecencyPreferred(t *testing.T) {
 	eng.AddRule(&Rule{
 		Name:     "log",
 		Patterns: []Pattern{P("x").Bind("tag", "t")},
-		Action: func(e *Engine, m *Match) {
+		Action: func(e *Tx, m *Match) {
 			order = append(order, m.Str("t"))
 		},
 	})
@@ -163,8 +163,8 @@ func TestSpecificityBreaksTies(t *testing.T) {
 	wm.Make("x", Attrs{"a": 1, "b": 2})
 	eng := NewEngine(wm)
 	var winner string
-	record := func(name string) func(*Engine, *Match) {
-		return func(e *Engine, m *Match) {
+	record := func(name string) func(*Tx, *Match) {
+		return func(e *Tx, m *Match) {
 			if winner == "" {
 				winner = name
 			}
@@ -200,7 +200,7 @@ func TestVariableUnification(t *testing.T) {
 			P("edge").Bind("from", "x").Bind("to", "y"),
 			P("edge").Bind("from", "y").Bind("to", "z"),
 		},
-		Action: func(e *Engine, m *Match) {
+		Action: func(e *Tx, m *Match) {
 			chains = append(chains, m.Str("x")+m.Str("y")+m.Str("z"))
 		},
 	})
@@ -229,7 +229,7 @@ func TestNegatedPattern(t *testing.T) {
 			P("task").Bind("name", "n"),
 			N("done").Bind("task", "n"),
 		},
-		Action: func(e *Engine, m *Match) {
+		Action: func(e *Tx, m *Match) {
 			pending = append(pending, m.Str("n"))
 		},
 	})
@@ -249,7 +249,7 @@ func TestWhereJoin(t *testing.T) {
 		Name:     "big",
 		Patterns: []Pattern{P("n").Bind("v", "v")},
 		Where:    func(m *Match) bool { return m.Int("v") > 3 },
-		Action:   func(e *Engine, m *Match) { got = append(got, m.Int("v")) },
+		Action:   func(e *Tx, m *Match) { got = append(got, m.Int("v")) },
 	})
 	run(t, eng)
 	if len(got) != 1 || got[0] != 5 {
@@ -267,7 +267,7 @@ func TestHalt(t *testing.T) {
 	eng.AddRule(&Rule{
 		Name:     "halt-first",
 		Patterns: []Pattern{P("x")},
-		Action: func(e *Engine, m *Match) {
+		Action: func(e *Tx, m *Match) {
 			fired++
 			e.Halt()
 		},
@@ -286,8 +286,8 @@ func TestFiringLimit(t *testing.T) {
 	eng.AddRule(&Rule{
 		Name:     "spin",
 		Patterns: []Pattern{P("x")},
-		Action: func(e *Engine, m *Match) {
-			e.WM.Modify(m.El(0), Attrs{"spin": m.El(0).Int("spin") + 1})
+		Action: func(e *Tx, m *Match) {
+			e.WM().Modify(m.El(0), Attrs{"spin": m.El(0).Int("spin") + 1})
 		},
 	})
 	if err := eng.Run(); err == nil {
@@ -304,10 +304,10 @@ func TestRemoveDisablesMatch(t *testing.T) {
 	eng.AddRule(&Rule{
 		Name:     "consume",
 		Patterns: []Pattern{P("x")},
-		Action: func(e *Engine, m *Match) {
+		Action: func(e *Tx, m *Match) {
 			fired++
-			for _, el := range append([]*Element(nil), e.WM.Class("x")...) {
-				e.WM.Remove(el)
+			for _, el := range append([]*Element(nil), e.WM().Class("x")...) {
+				e.WM().Remove(el)
 			}
 		},
 	})
@@ -323,10 +323,10 @@ func TestAddRulePanics(t *testing.T) {
 		name string
 		rule *Rule
 	}{
-		{"no-name", &Rule{Patterns: []Pattern{P("x")}, Action: func(*Engine, *Match) {}}},
+		{"no-name", &Rule{Patterns: []Pattern{P("x")}, Action: func(*Tx, *Match) {}}},
 		{"no-action", &Rule{Name: "r", Patterns: []Pattern{P("x")}}},
-		{"no-patterns", &Rule{Name: "r", Action: func(*Engine, *Match) {}}},
-		{"neg-first", &Rule{Name: "r", Patterns: []Pattern{N("x")}, Action: func(*Engine, *Match) {}}},
+		{"no-patterns", &Rule{Name: "r", Action: func(*Tx, *Match) {}}},
+		{"neg-first", &Rule{Name: "r", Patterns: []Pattern{N("x")}, Action: func(*Tx, *Match) {}}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -347,7 +347,7 @@ func TestUnboundVariablePanics(t *testing.T) {
 	eng.AddRule(&Rule{
 		Name:     "r",
 		Patterns: []Pattern{P("x")},
-		Action: func(e *Engine, m *Match) {
+		Action: func(e *Tx, m *Match) {
 			defer func() {
 				if recover() == nil {
 					t.Error("expected panic for unbound variable")
@@ -361,7 +361,7 @@ func TestUnboundVariablePanics(t *testing.T) {
 
 func TestKnowledgeStats(t *testing.T) {
 	eng := NewEngine(NewWM())
-	nop := func(*Engine, *Match) {}
+	nop := func(*Tx, *Match) {}
 	eng.AddRule(&Rule{Name: "a1", Category: "alpha", Patterns: []Pattern{P("x").Eq("k", 1)}, Action: nop})
 	eng.AddRule(&Rule{Name: "a2", Category: "alpha", Patterns: []Pattern{P("x"), N("y")}, Action: nop})
 	eng.AddRule(&Rule{Name: "b1", Category: "beta", Patterns: []Pattern{P("x")}, Action: nop})
@@ -386,7 +386,7 @@ func TestTraceWriter(t *testing.T) {
 	eng.AddRule(&Rule{
 		Name:     "traced-rule",
 		Patterns: []Pattern{P("x")},
-		Action:   func(e *Engine, m *Match) {},
+		Action:   func(e *Tx, m *Match) {},
 	})
 	run(t, eng)
 	if !strings.Contains(sb.String(), "traced-rule") {
@@ -417,9 +417,9 @@ func TestEngineTerminationProperty(t *testing.T) {
 		eng.AddRule(&Rule{
 			Name:     "consume",
 			Patterns: []Pattern{P("tok").Absent("seen")},
-			Action: func(e *Engine, m *Match) {
+			Action: func(e *Tx, m *Match) {
 				fired++
-				e.WM.Modify(m.El(0), Attrs{"seen": true})
+				e.WM().Modify(m.El(0), Attrs{"seen": true})
 			},
 		})
 		if err := eng.Run(); err != nil {
@@ -445,9 +445,9 @@ func TestEngineRecencyLIFOProperty(t *testing.T) {
 		eng.AddRule(&Rule{
 			Name:     "pop",
 			Patterns: []Pattern{P("tok")},
-			Action: func(e *Engine, m *Match) {
+			Action: func(e *Tx, m *Match) {
 				order = append(order, m.El(0).Int("i"))
-				e.WM.Remove(m.El(0))
+				e.WM().Remove(m.El(0))
 			},
 		})
 		if err := eng.Run(); err != nil {
@@ -523,13 +523,13 @@ func TestIndexedJoinEquivalence(t *testing.T) {
 			P("a").Bind("g", "g").Absent("seen"),
 			P("b").Bind("g", "g"),
 		},
-		Action: func(e *Engine, m *Match) {
+		Action: func(e *Tx, m *Match) {
 			pairs++
 			// Retire the 'a' element after counting its partners once.
 			if pairs%1000 == 0 {
 				return
 			}
-			e.WM.Modify(m.El(0), Attrs{"seen": true})
+			e.WM().Modify(m.El(0), Attrs{"seen": true})
 		},
 	})
 	run(t, eng)
@@ -552,9 +552,9 @@ func TestInterruptStopsRunawayRuleSet(t *testing.T) {
 	eng.AddRule(&Rule{
 		Name:     "spin",
 		Patterns: []Pattern{P("tok").Absent("seen")},
-		Action: func(e *Engine, m *Match) {
-			e.WM.Modify(m.El(0), Attrs{"seen": true})
-			e.WM.Make("tok", Attrs{"n": m.El(0).Int("n") + 1})
+		Action: func(e *Tx, m *Match) {
+			e.WM().Modify(m.El(0), Attrs{"seen": true})
+			e.WM().Make("tok", Attrs{"n": m.El(0).Int("n") + 1})
 		},
 	})
 	polls := 0

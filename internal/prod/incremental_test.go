@@ -14,7 +14,7 @@ import (
 // predicates, and negation (the full-rebuild path). Actions are inert: the
 // conflict-set tests drive the WM directly.
 func testRules() []*Rule {
-	nop := func(*Engine, *Match) {}
+	nop := func(*Tx, *Match) {}
 	return []*Rule{
 		{Name: "eq", Patterns: []Pattern{P("a").Eq("k", 1)}, Action: nop},
 		{Name: "join", Patterns: []Pattern{
@@ -224,18 +224,18 @@ func TestCrossCheckTokenWorkload(t *testing.T) {
 	eng.AddRule(&Rule{
 		Name:     "promote",
 		Patterns: []Pattern{P("a").Absent("done").Bind("g", "g"), N("b").Bind("g", "g")},
-		Action: func(e *Engine, m *Match) {
-			e.WM.Modify(m.El(0), Attrs{"done": true})
+		Action: func(e *Tx, m *Match) {
+			e.WM().Modify(m.El(0), Attrs{"done": true})
 			if m.El(0).Int("k") == 0 {
-				e.WM.Make("b", Attrs{"g": m.El(0).Get("g")})
+				e.WM().Make("b", Attrs{"g": m.El(0).Get("g")})
 			}
 		},
 	})
 	eng.AddRule(&Rule{
 		Name:     "retire",
 		Patterns: []Pattern{P("b").Bind("g", "g"), P("a").Eq("done", true).Bind("g", "g")},
-		Action: func(e *Engine, m *Match) {
-			e.WM.Remove(m.El(1))
+		Action: func(e *Tx, m *Match) {
+			e.WM().Remove(m.El(1))
 		},
 	})
 	if err := eng.Run(); err != nil {
@@ -261,15 +261,15 @@ func TestExhaustiveTraceEquivalence(t *testing.T) {
 		eng.AddRule(&Rule{
 			Name:     "step",
 			Patterns: []Pattern{P("a").Absent("done").Bind("k", "k")},
-			Action: func(e *Engine, m *Match) {
-				e.WM.Modify(m.El(0), Attrs{"done": true})
+			Action: func(e *Tx, m *Match) {
+				e.WM().Modify(m.El(0), Attrs{"done": true})
 			},
 		})
 		eng.AddRule(&Rule{
 			Name:     "pair",
 			Patterns: []Pattern{P("a").Eq("done", true).Bind("g", "g"), P("a").Absent("done").Bind("g", "g")},
-			Action: func(e *Engine, m *Match) {
-				e.WM.Remove(m.El(1))
+			Action: func(e *Tx, m *Match) {
+				e.WM().Remove(m.El(1))
 			},
 		})
 		if err := eng.Run(); err != nil {

@@ -1,0 +1,161 @@
+package prod
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// A toy host: a counter store mutated only through registered effects,
+// standing in for the rtl.Design in core.
+type toyHost struct {
+	vals map[string]int
+}
+
+func (h *toyHost) apply(name string, args []any) (any, error) {
+	switch name {
+	case "set":
+		h.vals[args[0].(string)] = args[1].(int)
+		return nil, nil
+	case "sum":
+		total := 0
+		for _, v := range h.vals {
+			total += v
+		}
+		h.vals["sum"] = total
+		return total, nil
+	default:
+		return nil, fmt.Errorf("unknown effect %q", name)
+	}
+}
+
+func journalRules() []*Rule {
+	return []*Rule{
+		{
+			Name:     "count",
+			Patterns: []Pattern{P("tok").Absent("done").Bind("n", "n")},
+			Action: func(tx *Tx, m *Match) {
+				if _, err := tx.Do("set", fmt.Sprintf("k%d", m.Int("n")), m.Int("n")*10); err != nil {
+					tx.Halt()
+					return
+				}
+				tx.Modify(m.El(0), Attrs{"done": true})
+			},
+		},
+		{
+			Name:     "finish",
+			Patterns: []Pattern{P("ctl"), N("tok").Absent("done")},
+			Action: func(tx *Tx, m *Match) {
+				if _, err := tx.Do("sum"); err != nil {
+					tx.Halt()
+					return
+				}
+				tx.Make("result", Attrs{"ok": true})
+				tx.Remove(m.El(0))
+				tx.Halt()
+			},
+		},
+	}
+}
+
+func recordToyRun(t *testing.T) (*Journal, *toyHost, string) {
+	t.Helper()
+	wm := NewWM()
+	eng := NewEngine(wm)
+	host := &toyHost{vals: map[string]int{}}
+	eng.Apply = host.apply
+	j := eng.RecordJournal(nil)
+	for _, r := range journalRules() {
+		eng.AddRule(r)
+	}
+	wm.Make("ctl", nil)
+	for i := 1; i <= 3; i++ {
+		wm.Make("tok", Attrs{"n": i})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return j, host, wm.Dump()
+}
+
+func TestJournalRecordsSeedAndFirings(t *testing.T) {
+	j, host, _ := recordToyRun(t)
+	if len(j.Seed) != 4 {
+		t.Fatalf("seed effects = %d, want 4 (ctl + 3 tok makes)", len(j.Seed))
+	}
+	firings, effects := j.Counts()
+	if firings != 4 {
+		t.Fatalf("firings = %d, want 4 (3 counts + finish)", firings)
+	}
+	if effects <= firings {
+		t.Fatalf("effects = %d, want more than one per firing", effects)
+	}
+	if host.vals["sum"] != 60 {
+		t.Fatalf("host sum = %d, want 60", host.vals["sum"])
+	}
+	last := j.Firings[len(j.Firings)-1]
+	if last.Rule != "finish" {
+		t.Fatalf("last firing = %s, want finish", last.Rule)
+	}
+	var kinds []EffectKind
+	for _, eff := range last.Effects {
+		kinds = append(kinds, eff.Kind)
+	}
+	want := []EffectKind{EffDo, EffMake, EffRemove, EffHalt}
+	if fmt.Sprint(kinds) != fmt.Sprint(want) {
+		t.Fatalf("finish effects = %v, want %v", kinds, want)
+	}
+	if last.Effects[0].Result == nil || last.Effects[0].Result.Scalar != 60 {
+		t.Fatalf("sum result not journaled: %+v", last.Effects[0].Result)
+	}
+	var b strings.Builder
+	j.WriteText(&b)
+	for _, want := range []string{"seed:", "do set(", "do sum() -> 60", "halt"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("journal text missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestJournalReplayReproducesState(t *testing.T) {
+	j, host, wantDump := recordToyRun(t)
+	fresh := &toyHost{vals: map[string]int{}}
+	wm := NewWM()
+	rep := &Replayer{WM: wm, Apply: fresh.apply}
+	var seen []string
+	rep.OnFiring = func(f *Firing) { seen = append(seen, f.Rule) }
+	if err := rep.Run(j); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if got := wm.Dump(); got != wantDump {
+		t.Fatalf("replayed WM differs:\n--- recorded ---\n%s--- replayed ---\n%s", wantDump, got)
+	}
+	if fmt.Sprint(fresh.vals) != fmt.Sprint(host.vals) {
+		t.Fatalf("replayed host state %v, want %v", fresh.vals, host.vals)
+	}
+	if len(seen) != len(j.Firings) {
+		t.Fatalf("OnFiring saw %d firings, want %d", len(seen), len(j.Firings))
+	}
+}
+
+func TestJournalRefusesOpaqueReplay(t *testing.T) {
+	wm := NewWM()
+	eng := NewEngine(wm)
+	j := eng.RecordJournal(nil) // no encoder: pointers become opaque
+	eng.AddRule(&Rule{
+		Name:     "r",
+		Patterns: []Pattern{P("x")},
+		Action:   func(tx *Tx, m *Match) { tx.Halt() },
+	})
+	wm.Make("x", Attrs{"p": &struct{ int }{}})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if j.Opaque == 0 {
+		t.Fatal("expected opaque value count > 0")
+	}
+	rep := &Replayer{WM: NewWM()}
+	if err := rep.Run(j); err == nil {
+		t.Fatal("replay of opaque journal should fail")
+	}
+}

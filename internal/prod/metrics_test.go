@@ -22,7 +22,7 @@ func TestRefractionOverflowWidePattern(t *testing.T) {
 	eng.AddRule(&Rule{
 		Name:     "wide",
 		Patterns: pats,
-		Action:   func(e *Engine, m *Match) { fired++ }, // no WM change
+		Action:   func(e *Tx, m *Match) { fired++ }, // no WM change
 	})
 	run(t, eng)
 	if fired != 1 {
@@ -92,12 +92,12 @@ func TestEngineMetrics(t *testing.T) {
 	eng.AddRule(&Rule{
 		Name: "consume", Category: "test",
 		Patterns: []Pattern{P("a").Absent("done")},
-		Action:   func(e *Engine, m *Match) { e.WM.Modify(m.El(0), Attrs{"done": true}) },
+		Action:   func(e *Tx, m *Match) { e.WM().Modify(m.El(0), Attrs{"done": true}) },
 	})
 	eng.AddRule(&Rule{
 		Name: "idle", Category: "test",
 		Patterns: []Pattern{P("zzz")},
-		Action:   func(e *Engine, m *Match) {},
+		Action:   func(e *Tx, m *Match) {},
 	})
 	run(t, eng)
 

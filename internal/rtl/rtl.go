@@ -271,7 +271,22 @@ type Design struct {
 	CarrierPort map[*vt.Carrier]*Port
 	ValueReg    map[*vt.Value]*Register // intermediate value -> holding register
 
-	nextID int
+	nextID    int
+	observers []func(any)
+}
+
+// Observe registers f to be called with every component subsequently
+// added to the design (a *Register, *Memory, *Port, *Unit, *Mux,
+// *Junction, *Constant, *Link, or *State). The provenance layer in
+// internal/core uses this to attribute components to the rule firings
+// that created them; with no observers registered the hook costs one nil
+// slice check per allocation.
+func (d *Design) Observe(f func(any)) { d.observers = append(d.observers, f) }
+
+func (d *Design) added(c any) {
+	for _, f := range d.observers {
+		f(c)
+	}
 }
 
 // NewDesign returns an empty design for the given trace.
@@ -295,6 +310,7 @@ func (d *Design) id() int { d.nextID++; return d.nextID - 1 }
 func (d *Design) AddRegister(name string, width int) *Register {
 	r := &Register{ID: d.id(), Name: name, Width: width}
 	d.Registers = append(d.Registers, r)
+	d.added(r)
 	return r
 }
 
@@ -314,6 +330,7 @@ func (d *Design) RemoveRegister(r *Register) {
 func (d *Design) AddMemory(name string, width, words int) *Memory {
 	m := &Memory{ID: d.id(), Name: name, Width: width, Words: words}
 	d.Memories = append(d.Memories, m)
+	d.added(m)
 	return m
 }
 
@@ -321,6 +338,7 @@ func (d *Design) AddMemory(name string, width, words int) *Memory {
 func (d *Design) AddPort(name string, width int, in bool) *Port {
 	p := &Port{ID: d.id(), Name: name, Width: width, In: in}
 	d.Ports = append(d.Ports, p)
+	d.added(p)
 	return p
 }
 
@@ -331,6 +349,7 @@ func (d *Design) AddUnit(name string, width int, fns ...vt.OpKind) *Unit {
 		u.Fns[f] = true
 	}
 	d.Units = append(d.Units, u)
+	d.added(u)
 	return u
 }
 
@@ -348,6 +367,7 @@ func (d *Design) RemoveUnit(u *Unit) {
 func (d *Design) AddMux(name string, width, inputs int) *Mux {
 	m := &Mux{ID: d.id(), Name: name, Width: width, Inputs: inputs}
 	d.Muxes = append(d.Muxes, m)
+	d.added(m)
 	return m
 }
 
@@ -366,6 +386,7 @@ func (d *Design) RemoveMux(m *Mux) {
 func (d *Design) AddJunction(name string, width, inputs int) *Junction {
 	j := &Junction{ID: d.id(), Name: name, Width: width, Inputs: inputs}
 	d.Junctions = append(d.Junctions, j)
+	d.added(j)
 	return j
 }
 
@@ -388,6 +409,7 @@ func (d *Design) AddConst(value uint64, width int) *Constant {
 	}
 	c := &Constant{ID: d.id(), Value: value, Width: width}
 	d.Consts = append(d.Consts, c)
+	d.added(c)
 	return c
 }
 
@@ -395,6 +417,7 @@ func (d *Design) AddConst(value uint64, width int) *Constant {
 func (d *Design) AddLink(from, to Endpoint, width int) *Link {
 	l := &Link{ID: d.id(), Width: width, From: from, To: to}
 	d.Links = append(d.Links, l)
+	d.added(l)
 	return l
 }
 
@@ -423,6 +446,7 @@ func (d *Design) FindLink(from, to Endpoint, w int) *Link {
 func (d *Design) AddState(body string, index int) *State {
 	s := &State{ID: d.id(), Body: body, Index: index}
 	d.States = append(d.States, s)
+	d.added(s)
 	return s
 }
 

@@ -74,6 +74,10 @@ type RequestOptions struct {
 	MaxOpsPerStep int `json:"maxOpsPerStep,omitempty"`
 	// MemPorts caps accesses per memory per step (0 = single-ported).
 	MemPorts int `json:"memPorts,omitempty"`
+	// Provenance journals the run's rule firings and builds the
+	// provenance index; the response carries a provenance summary and the
+	// design becomes queryable through GET /v1/explain. DAA only.
+	Provenance bool `json:"provenance,omitempty"`
 }
 
 // flowOptions lowers the wire options onto the pipeline's option set.
@@ -96,6 +100,7 @@ func (o RequestOptions) flowOptions() (flow.Options, error) {
 			DisableTraceRules: o.NoTraceRules,
 			DisableCleanup:    o.NoCleanup,
 			ExhaustiveMatch:   o.Exhaustive,
+			Journal:           o.Provenance,
 		},
 	}
 	opt.Alloc.Limits = lim
@@ -130,6 +135,28 @@ type SynthesizeResponse struct {
 	Artifacts *Artifacts    `json:"artifacts,omitempty"`
 	Stats     *SynthStats   `json:"stats,omitempty"`  // with timings only
 	Stages    []StageTiming `json:"stages,omitempty"` // with timings only
+	// Provenance summarizes the effect journal when the request asked for
+	// it; Key addresses the design in GET /v1/explain.
+	Provenance *ProvenanceSummary `json:"provenance,omitempty"`
+}
+
+// ProvenanceSummary is the journal's wire summary: the explain key plus
+// the journal's size.
+type ProvenanceSummary struct {
+	Key        string `json:"key"`
+	Components int    `json:"components"`
+	Firings    int    `json:"firings"`
+	Effects    int    `json:"effects"`
+}
+
+// ExplainResponse is the GET /v1/explain body: the firing history of the
+// selected components, rendered by the same core.Provenance.Explain that
+// backs daa -explain.
+type ExplainResponse struct {
+	Design   string `json:"design"`
+	Selector string `json:"selector,omitempty"`
+	Matched  int    `json:"matched"`
+	Text     string `json:"text"`
 }
 
 // Artifacts carries the optional machine-readable outputs.
@@ -144,6 +171,7 @@ type Artifacts struct {
 type SynthStats struct {
 	TotalFirings    int          `json:"totalFirings"`
 	TotalMatchCalls int          `json:"totalMatchCalls"`
+	TotalCycles     int          `json:"totalCycles"` // recognize-act cycles of this request's engines
 	ElapsedMS       float64      `json:"elapsedMs"`
 	Phases          []PhaseStats `json:"phases"`
 }
@@ -236,6 +264,7 @@ func newSynthStats(st core.Stats) *SynthStats {
 	out := &SynthStats{
 		TotalFirings:    st.TotalFirings,
 		TotalMatchCalls: st.TotalMatchCalls,
+		TotalCycles:     st.TotalCycles,
 		ElapsedMS:       ms(st.Elapsed),
 	}
 	for _, ph := range st.Phases {

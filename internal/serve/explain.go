@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+)
+
+// The explain store keeps the provenance index of recently synthesized
+// designs so GET /v1/explain can answer "why does this component exist?"
+// without re-running the engine. It is populated only by synthesize
+// requests that asked for provenance, keyed by the same
+// (content hash, canonical option key) identity as the design cache, and
+// bounded by its own LRU: an evicted (or never-journaled) design answers
+// 404 and the client re-synthesizes with provenance on.
+
+// DefaultExplainCacheEntries bounds the explain store.
+const DefaultExplainCacheEntries = 64
+
+// explainKey addresses a journaled design: source content hash plus
+// canonical option key. It is returned to the client in the synthesize
+// response's provenance summary.
+func explainKey(in flow.Input, opt flow.Options) string {
+	return fmt.Sprintf("%x|%s", in.ContentHash(), opt.Key())
+}
+
+type explainEntry struct {
+	key  string
+	prov *core.Provenance
+}
+
+// explainCache is a bounded LRU from explain key to provenance index.
+type explainCache struct {
+	mu        sync.Mutex
+	cap       int
+	lru       *list.List
+	index     map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+func newExplainCache(capacity int) *explainCache {
+	if capacity <= 0 {
+		capacity = DefaultExplainCacheEntries
+	}
+	return &explainCache{
+		cap:   capacity,
+		lru:   list.New(),
+		index: map[string]*list.Element{},
+	}
+}
+
+func (c *explainCache) get(key string) *core.Provenance {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	node, ok := c.index[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.lru.MoveToFront(node)
+	return node.Value.(*explainEntry).prov
+}
+
+func (c *explainCache) put(key string, prov *core.Provenance) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if node, ok := c.index[key]; ok {
+		node.Value.(*explainEntry).prov = prov
+		c.lru.MoveToFront(node)
+		return
+	}
+	c.index[key] = c.lru.PushFront(&explainEntry{key: key, prov: prov})
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.index, back.Value.(*explainEntry).key)
+		c.evictions++
+	}
+}
+
+func (c *explainCache) stats() flow.CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return flow.CacheStats{
+		Entries:   c.lru.Len(),
+		Cap:       c.cap,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -34,6 +34,11 @@ type metrics struct {
 	deltas      atomic.Int64
 	rebuilds    atomic.Int64
 
+	explainReq     atomic.Int64 // GET /v1/explain requests
+	journaledRuns  atomic.Int64 // completed syntheses that carried a journal
+	journalFirings atomic.Int64 // firings recorded across those journals
+	journalEffects atomic.Int64 // effects recorded across those journals
+
 	stageMu sync.Mutex
 	stageNS map[string]int64 // cumulative wall time per pipeline stage
 }
@@ -48,6 +53,12 @@ func (m *metrics) observeResult(res *flow.Result) {
 		em := st.EngineMetrics()
 		m.deltas.Add(int64(em.Deltas))
 		m.rebuilds.Add(int64(em.Rebuilds))
+		if j := res.Synth.Journal; j != nil {
+			firings, effects := j.Counts()
+			m.journaledRuns.Add(1)
+			m.journalFirings.Add(int64(firings))
+			m.journalEffects.Add(int64(effects))
+		}
 	}
 	m.stageMu.Lock()
 	if m.stageNS == nil {
@@ -61,18 +72,29 @@ func (m *metrics) observeResult(res *flow.Result) {
 
 // MetricsResponse is the GET /v1/metrics body.
 type MetricsResponse struct {
-	UptimeMS    float64            `json:"uptimeMs"`
-	Requests    RequestCounts      `json:"requests"`
-	Responses   ResponseCounts     `json:"responses"`
-	InFlight    int64              `json:"inFlight"`
-	QueueDepth  int64              `json:"queueDepth"`
-	Workers     int                `json:"workers"`
-	QueueCap    int                `json:"queueCap"`
-	Admission   AdmissionCounts    `json:"admission"`
-	DesignCache flow.CacheStats    `json:"designCache"`
-	FlowCache   flow.CacheStats    `json:"flowCache"`
-	StagesMS    map[string]float64 `json:"stagesMs"`
-	Engine      EngineRollup       `json:"engine"`
+	UptimeMS     float64            `json:"uptimeMs"`
+	Requests     RequestCounts      `json:"requests"`
+	Responses    ResponseCounts     `json:"responses"`
+	InFlight     int64              `json:"inFlight"`
+	QueueDepth   int64              `json:"queueDepth"`
+	Workers      int                `json:"workers"`
+	QueueCap     int                `json:"queueCap"`
+	Admission    AdmissionCounts    `json:"admission"`
+	DesignCache  flow.CacheStats    `json:"designCache"`
+	FlowCache    flow.CacheStats    `json:"flowCache"`
+	ExplainCache flow.CacheStats    `json:"explainCache"`
+	StagesMS     map[string]float64 `json:"stagesMs"`
+	Engine       EngineRollup       `json:"engine"`
+	Journal      JournalRollup      `json:"journal"`
+}
+
+// JournalRollup aggregates effect-journal activity: how many completed
+// syntheses carried a journal and how much they recorded.
+type JournalRollup struct {
+	ExplainRequests int64 `json:"explainRequests"`
+	JournaledRuns   int64 `json:"journaledRuns"`
+	Firings         int64 `json:"firings"`
+	Effects         int64 `json:"effects"`
 }
 
 // RequestCounts breaks requests down by endpoint.
@@ -80,6 +102,7 @@ type RequestCounts struct {
 	Synthesize int64 `json:"synthesize"`
 	Batch      int64 `json:"batch"`
 	BatchItems int64 `json:"batchItems"`
+	Explain    int64 `json:"explain"`
 	Healthz    int64 `json:"healthz"`
 	Metrics    int64 `json:"metrics"`
 }
@@ -129,6 +152,7 @@ func (s *Server) Metrics() MetricsResponse {
 			Synthesize: m.synthesize.Load(),
 			Batch:      m.batch.Load(),
 			BatchItems: m.batchItems.Load(),
+			Explain:    m.explainReq.Load(),
 			Healthz:    m.healthz.Load(),
 			Metrics:    m.metricsReq.Load(),
 		},
@@ -147,9 +171,10 @@ func (s *Server) Metrics() MetricsResponse {
 			DeadlineExceeded: m.deadlineExceeded.Load(),
 			Panics:           m.panics.Load(),
 		},
-		DesignCache: s.cache.stats(),
-		FlowCache:   flow.FrontCacheStats(),
-		StagesMS:    stages,
+		DesignCache:  s.cache.stats(),
+		FlowCache:    flow.FrontCacheStats(),
+		ExplainCache: s.explain.stats(),
+		StagesMS:     stages,
 		Engine: EngineRollup{
 			CyclesTotal: prod.TotalEngineCycles(),
 			Synthesized: m.synthesized.Load(),
@@ -157,6 +182,12 @@ func (s *Server) Metrics() MetricsResponse {
 			MatchCalls:  m.matchCalls.Load(),
 			Deltas:      m.deltas.Load(),
 			Rebuilds:    m.rebuilds.Load(),
+		},
+		Journal: JournalRollup{
+			ExplainRequests: m.explainReq.Load(),
+			JournaledRuns:   m.journaledRuns.Load(),
+			Firings:         m.journalFirings.Load(),
+			Effects:         m.journalEffects.Load(),
 		},
 	}
 }

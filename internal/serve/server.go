@@ -74,10 +74,11 @@ func (c Config) withDefaults() Config {
 // Server is the synthesis daemon: admission control, the design cache,
 // the metrics counters, and the HTTP handlers over flow.Compile.
 type Server struct {
-	cfg   Config
-	cache *designCache
-	met   metrics
-	start time.Time
+	cfg     Config
+	cache   *designCache
+	explain *explainCache
+	met     metrics
+	start   time.Time
 
 	slots    chan struct{} // worker tokens; len == Workers
 	waiting  atomic.Int64  // admitted requests (queued + in flight)
@@ -101,6 +102,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:        cfg,
 		cache:      newDesignCache(cfg.CacheEntries),
+		explain:    newExplainCache(0),
 		start:      time.Now(),
 		slots:      make(chan struct{}, cfg.Workers),
 		synthesize: flow.Compile,
@@ -115,6 +117,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return s.middleware(mux)
@@ -336,6 +339,40 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, BatchResponse{Results: items})
 }
 
+// handleExplain serves the provenance of a previously journaled design.
+// The key comes from the synthesize response's provenance summary; an
+// unknown (or evicted) key is 404 — synthesize with options.provenance
+// first.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	s.met.explainReq.Add(1)
+	id := requestID(r.Context())
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		s.writeError(w, r, http.StatusBadRequest, &ErrorResponse{
+			Error: "missing key parameter (from the synthesize response's provenance.key)",
+			Kind:  KindRequest, RequestID: id,
+		})
+		return
+	}
+	prov := s.explain.get(key)
+	if prov == nil {
+		s.writeError(w, r, http.StatusNotFound, &ErrorResponse{
+			Error: "no journaled design under this key; synthesize with options.provenance first",
+			Kind:  KindRequest, RequestID: id,
+		})
+		return
+	}
+	sel := r.URL.Query().Get("sel")
+	var sb strings.Builder
+	matched := prov.Explain(&sb, sel)
+	s.writeJSON(w, http.StatusOK, ExplainResponse{
+		Design:   prov.Design,
+		Selector: sel,
+		Matched:  matched,
+		Text:     sb.String(),
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.met.healthz.Add(1)
 	status := "ok"
@@ -467,6 +504,17 @@ func (s *Server) runOne(ctx context.Context, req SynthesizeRequest, admit bool) 
 			resp.Stats = newSynthStats(res.Synth.Stats)
 		}
 		resp.Stages = newStageTimings(res.Trace)
+	}
+	if prov := res.Provenance(); prov != nil {
+		ekey := explainKey(in, opt)
+		s.explain.put(ekey, prov)
+		firings, effects := res.Journal().Counts()
+		resp.Provenance = &ProvenanceSummary{
+			Key:        ekey,
+			Components: len(prov.Components),
+			Firings:    firings,
+			Effects:    effects,
+		}
 	}
 
 	body, err := json.MarshalIndent(resp, "", "  ")

@@ -10,6 +10,14 @@ import (
 // solid edges for dataflow, dashed edges for control structure (select
 // arms, loop bodies, calls). Intended for debugging and documentation.
 func (p *Program) WriteDot(w io.Writer) error {
+	return p.WriteDotAnnotated(w, nil)
+}
+
+// WriteDotAnnotated is WriteDot with an optional annotator: for each
+// operator, note returns extra label lines appended under the node's base
+// label (vtdump -provenance uses it to show the rule firings that consumed
+// each operator). A nil annotator reproduces WriteDot exactly.
+func (p *Program) WriteDotAnnotated(w io.Writer, note func(*Op) []string) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", p.Name)
 	for _, body := range p.Bodies {
@@ -24,6 +32,11 @@ func (p *Program) WriteDot(w io.Writer) error {
 			}
 			if op.Kind == OpSlice {
 				label += fmt.Sprintf("<%d:%d>", op.Hi, op.Lo)
+			}
+			if note != nil {
+				for _, line := range note(op) {
+					label += "\n" + line
+				}
 			}
 			fmt.Fprintf(&b, "    n%d [label=%q];\n", op.ID, label)
 		}
