@@ -14,6 +14,8 @@
 //	daa -bench gcd -no-cleanup          skip the global-improvement phase
 //	daa -bench gcd -engine-stats        print the production-engine metrics
 //	daa -bench gcd -exhaustive          disable incremental matching
+//	daa -bench gcd -lite                use the interpreted Rete-lite matcher
+//	daa -bench gcd -parallel-match 4    shard beta propagation across workers
 //	daa -bench gcd -stage-timing        print per-stage pipeline wall time
 //	daa -bench gcd -explain "reg X"     why does this component exist?
 //	daa -bench gcd -journal run.jnl     record the effect journal to a file
@@ -49,6 +51,8 @@ type options struct {
 	stats       bool
 	engineStats bool
 	exhaustive  bool
+	lite        bool
+	parallel    int
 	control     bool
 	verilog     bool
 	flow        bool
@@ -70,6 +74,8 @@ func main() {
 	flag.BoolVar(&o.stats, "stats", true, "print synthesis statistics (daa only)")
 	flag.BoolVar(&o.engineStats, "engine-stats", false, "print production-engine metrics: per-rule match cost, conflict-set statistics (daa only)")
 	flag.BoolVar(&o.exhaustive, "exhaustive", false, "disable incremental conflict-set maintenance (daa only; for comparison)")
+	flag.BoolVar(&o.lite, "lite", false, "use the interpreted Rete-lite matcher instead of the compiled network (daa only; for comparison)")
+	flag.IntVar(&o.parallel, "parallel-match", 0, "shard Rete beta propagation across this many workers (0 = serial)")
 	flag.BoolVar(&o.control, "control", false, "print the derived control-signal table")
 	flag.BoolVar(&o.verilog, "verilog", false, "emit the datapath as structural Verilog and exit")
 	flag.BoolVar(&o.flow, "flow", false, "emit the controller state graph as Graphviz and exit")
@@ -104,6 +110,8 @@ func run(w io.Writer, o options) error {
 		Core: core.Options{
 			DisableCleanup:  o.noCleanup,
 			ExhaustiveMatch: o.exhaustive,
+			LiteMatch:       o.lite,
+			ParallelMatch:   o.parallel,
 			Journal:         o.explain != "" || o.journal != "",
 		},
 	}
@@ -139,7 +147,7 @@ func run(w io.Writer, o options) error {
 			writeStats(w, res.Synth.Stats)
 		}
 		if o.engineStats {
-			writeEngineStats(w, res.Synth.Stats, o.exhaustive)
+			writeEngineStats(w, res.Synth.Stats, o.exhaustive, o.lite)
 		}
 	}
 
@@ -240,12 +248,16 @@ func writeStats(w io.Writer, stats core.Stats) {
 }
 
 // writeEngineStats prints the production-engine observability section: the
-// matcher's cost per phase and the most expensive rules to match.
-func writeEngineStats(w io.Writer, stats core.Stats, exhaustive bool) {
-	if exhaustive {
+// matcher's cost per phase, the match network's shape and activity, and the
+// most expensive rules to match.
+func writeEngineStats(w io.Writer, stats core.Stats, exhaustive, lite bool) {
+	switch {
+	case exhaustive:
 		fmt.Fprintln(w, "engine statistics (exhaustive matcher; incremental counters inactive):")
-	} else {
-		fmt.Fprintln(w, "engine statistics (incremental matcher):")
+	case lite:
+		fmt.Fprintln(w, "engine statistics (Rete-lite matcher; network counters inactive):")
+	default:
+		fmt.Fprintln(w, "engine statistics (compiled Rete network):")
 	}
 	for _, ph := range stats.Phases {
 		m := ph.Engine
@@ -253,6 +265,12 @@ func writeEngineStats(w io.Writer, stats core.Stats, exhaustive bool) {
 			ph.Name, m.Deltas, m.Rebuilds, m.Added, m.Invalidated, m.ConflictPeak, m.ConflictMean)
 	}
 	agg := stats.EngineMetrics()
+	if !exhaustive && !lite {
+		fmt.Fprintf(w, "  network: alpha tests=%d mems=%d (patterns=%d) join nodes=%d neg nodes=%d\n",
+			agg.AlphaTests, agg.AlphaMems, agg.AlphaPatterns, agg.JoinNodes, agg.NegNodes)
+		fmt.Fprintf(w, "  activity: alpha evals=%d join tests=%d tokens +%d -%d (live %d)\n",
+			agg.AlphaEvals, agg.JoinTests, agg.TokenAsserts, agg.TokenRetracts, agg.TokensLive)
+	}
 	fmt.Fprintln(w, "  top rules by match time:")
 	for _, r := range agg.TopRulesByMatchTime(10) {
 		fmt.Fprintf(w, "    %-40s %-12s firings=%-5d deltas=%-6d matches=%-8d %v\n",

@@ -18,11 +18,15 @@
 //	daabench -only stages    print the pipeline stage-timing table
 //	daabench -bench gcd      use a different benchmark for E2/E3/E4/E8/STAGES
 //	daabench -json           emit machine-readable per-benchmark results
+//	daabench -json -lite     same, on the interpreted Rete-lite matcher
 //
 // With -json the tables are replaced by one JSON document with component
-// counts, firings, match calls, elapsed time, pipeline stage timings, and
-// flow-cache hit/miss counts per benchmark and phase, for recording the
-// bench trajectory (BENCH_*.json) from CI. The suite-wide experiments fan
+// counts, firings, match calls, match and elapsed time, Rete network
+// activity, pipeline stage timings, and flow-cache hit/miss counts per
+// benchmark and phase, for recording the bench trajectory (BENCH_*.json)
+// from CI. -lite and -exhaustive rerun the suite on the interpreted
+// matchers, so CI can diff pattern tests and match time against the
+// compiled Rete network. The suite-wide experiments fan
 // out across a bounded worker pool; the output stays byte-deterministic
 // apart from the measured times. Usage mistakes exit 1; internal failures
 // exit 3.
@@ -43,6 +47,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/flow"
 )
@@ -52,6 +57,8 @@ func main() {
 		only      = flag.String("only", "", "run a single experiment: E1..E8, or 'stages'")
 		benchName = flag.String("bench", "mcs6502", "benchmark for E2, E3, E4, E8, and stages")
 		asJSON    = flag.Bool("json", false, "emit machine-readable per-benchmark results instead of tables")
+		lite      = flag.Bool("lite", false, "with -json: use the interpreted Rete-lite matcher (baseline for match-cost diffs)")
+		exhaust   = flag.Bool("exhaustive", false, "with -json: recompute the conflict set from scratch every cycle")
 		loadgen   = flag.Bool("loadgen", false, "replay the embedded suite against a daad daemon (see -addr, -c, -n)")
 		addr      = flag.String("addr", "", "daad base URL for -loadgen (e.g. http://localhost:8547)")
 		clients   = flag.Int("c", 32, "concurrent clients for -loadgen")
@@ -69,7 +76,10 @@ func main() {
 			asJSON:      *asJSON,
 		})
 	} else {
-		err = run(os.Stdout, strings.ToUpper(*only), *benchName, *asJSON)
+		err = run(os.Stdout, strings.ToUpper(*only), *benchName, *asJSON, core.Options{
+			LiteMatch:       *lite,
+			ExhaustiveMatch: *exhaust,
+		})
 	}
 	if err != nil {
 		flow.WriteError(os.Stderr, "daabench", err)
@@ -77,12 +87,15 @@ func main() {
 	}
 }
 
-func run(w io.Writer, only, benchName string, asJSON bool) error {
+func run(w io.Writer, only, benchName string, asJSON bool, copt core.Options) error {
 	if asJSON {
 		if only != "" {
 			return flow.Usagef("-json runs the whole suite; drop -only")
 		}
-		return exp.WriteJSON(w)
+		return exp.WriteJSONOpts(w, copt)
+	}
+	if copt.LiteMatch || copt.ExhaustiveMatch {
+		return flow.Usagef("-lite/-exhaustive record matcher baselines; combine them with -json")
 	}
 	switch only {
 	case "":

@@ -5,12 +5,13 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/flow"
 )
 
 func TestSingleExperiments(t *testing.T) {
 	for _, e := range []string{"E1", "E2", "E3", "E4", "E8", "STAGES"} {
-		if err := run(io.Discard, e, "gcd", false); err != nil {
+		if err := run(io.Discard, e, "gcd", false, core.Options{}); err != nil {
 			t.Fatalf("%s: %v", e, err)
 		}
 	}
@@ -18,7 +19,7 @@ func TestSingleExperiments(t *testing.T) {
 
 func TestStageTimingTable(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "STAGES", "gcd", false); err != nil {
+	if err := run(&sb, "STAGES", "gcd", false, core.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -30,20 +31,20 @@ func TestStageTimingTable(t *testing.T) {
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	err := run(io.Discard, "E9", "gcd", false)
+	err := run(io.Discard, "E9", "gcd", false, core.Options{})
 	if flow.ExitCode(err) != flow.ExitUsage {
 		t.Errorf("unknown experiment: exit %d (%v), want usage", flow.ExitCode(err), err)
 	}
 }
 
 func TestUnknownBenchmark(t *testing.T) {
-	if err := run(io.Discard, "E2", "nope", false); err == nil {
+	if err := run(io.Discard, "E2", "nope", false, core.Options{}); err == nil {
 		t.Error("expected error for unknown benchmark")
 	}
 }
 
 func TestJSONRejectsOnly(t *testing.T) {
-	err := run(io.Discard, "E2", "gcd", true)
+	err := run(io.Discard, "E2", "gcd", true, core.Options{})
 	if flow.ExitCode(err) != flow.ExitUsage {
 		t.Errorf("-json with -only: exit %d (%v), want usage", flow.ExitCode(err), err)
 	}
@@ -54,7 +55,7 @@ func TestJSONOutputShape(t *testing.T) {
 		t.Skip("full-suite synthesis in -short mode")
 	}
 	var sb strings.Builder
-	if err := run(&sb, "", "mcs6502", true); err != nil {
+	if err := run(&sb, "", "mcs6502", true, core.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()

@@ -48,6 +48,7 @@ func main() {
 		deadline     = flag.Duration("deadline", 60*time.Second, "default per-request synthesis deadline")
 		maxDeadline  = flag.Duration("max-deadline", 5*time.Minute, "clamp on client-supplied deadlines")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound for in-flight work")
+		parallel     = flag.Int("parallel-match", 0, "shard Rete beta propagation across this many workers per synthesis (0 = serial)")
 	)
 	flag.Parse()
 	if err := run(*addr, serve.Config{
@@ -58,6 +59,7 @@ func main() {
 		MaxBodyBytes:      *maxBody,
 		DefaultDeadline:   *deadline,
 		MaxDeadline:       *maxDeadline,
+		ParallelMatch:     *parallel,
 		Logger:            log.New(os.Stderr, "daad ", log.LstdFlags|log.Lmicroseconds),
 	}, *drainTimeout); err != nil {
 		flow.WriteError(os.Stderr, "daad", err)

@@ -10,41 +10,78 @@ import (
 	"repro/internal/core"
 )
 
-// TestFiringTraceEquivalence asserts the incremental matcher reproduces
-// the exhaustive matcher's firing sequence bit for bit — every rule name
-// and every matched element ID, in order — on every embedded benchmark.
-// This is the acceptance test for the conflict-resolution semantics
-// (refraction, recency, specificity, declaration order) surviving the
-// incremental refactor unchanged.
+// traceWith synthesizes one benchmark and returns its firing trace.
+func traceWith(t *testing.T, name string, opt core.Options) string {
+	t.Helper()
+	tr, err := bench.Load(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	opt.Trace = &buf
+	if _, err := core.Synthesize(tr, opt); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestFiringTraceEquivalence asserts every matcher mode reproduces the
+// exhaustive matcher's firing sequence bit for bit — every rule name and
+// every matched element ID, in order — on every embedded benchmark: the
+// compiled Rete network (default), the same network with parallel beta
+// propagation, and the interpreted Rete-lite matcher. This is the
+// acceptance test for the conflict-resolution semantics (refraction,
+// recency, specificity, declaration order) surviving the match-network
+// refactors unchanged.
 func TestFiringTraceEquivalence(t *testing.T) {
 	for _, name := range bench.Names() {
 		t.Run(name, func(t *testing.T) {
-			trace := func(exhaustive bool) string {
-				tr, err := bench.Load(name)
-				if err != nil {
-					t.Fatal(err)
-				}
-				var buf bytes.Buffer
-				if _, err := core.Synthesize(tr, core.Options{Trace: &buf, ExhaustiveMatch: exhaustive}); err != nil {
-					t.Fatal(err)
-				}
-				return buf.String()
-			}
-			inc, exh := trace(false), trace(true)
-			if inc == "" {
+			exh := traceWith(t, name, core.Options{ExhaustiveMatch: true})
+			if exh == "" {
 				t.Fatal("empty firing trace")
 			}
-			if inc != exh {
-				t.Errorf("firing traces diverge:\n%s", firstDiff(inc, exh))
+			modes := []struct {
+				label string
+				opt   core.Options
+			}{
+				{"rete", core.Options{}},
+				{"rete-parallel", core.Options{ParallelMatch: 4}},
+				{"rete-lite", core.Options{LiteMatch: true}},
+			}
+			for _, mode := range modes {
+				if got := traceWith(t, name, mode.opt); got != exh {
+					t.Errorf("%s firing trace diverges from exhaustive:\n%s",
+						mode.label, firstDiff(got, exh))
+				}
+			}
+		})
+	}
+}
+
+// TestJournaledTraceEquivalence re-runs the trace comparison with journal
+// recording enabled: the journal hooks observe every WM change and firing
+// in matcher order, so this pins the binding vectors and change streams,
+// not just the selected instantiations.
+func TestJournaledTraceEquivalence(t *testing.T) {
+	for _, name := range bench.Names() {
+		t.Run(name, func(t *testing.T) {
+			exh := traceWith(t, name, core.Options{ExhaustiveMatch: true, Journal: true})
+			got := traceWith(t, name, core.Options{Journal: true})
+			if got == "" {
+				t.Fatal("empty firing trace")
+			}
+			if got != exh {
+				t.Errorf("journaled rete trace diverges from exhaustive:\n%s", firstDiff(got, exh))
 			}
 		})
 	}
 }
 
 // TestCrossCheckAllBenchmarks synthesizes every embedded benchmark with
-// the lockstep cross-check enabled: each cycle the exhaustive matcher
-// re-derives the selected instantiation and the engine panics on any
-// disagreement with the incremental conflict set.
+// the three-way lockstep cross-check enabled: each cycle the Rete-lite
+// and exhaustive matchers independently re-derive the selected
+// instantiation and the engine panics on any disagreement with the Rete
+// network's conflict set.
 func TestCrossCheckAllBenchmarks(t *testing.T) {
 	for _, name := range bench.Names() {
 		t.Run(name, func(t *testing.T) {
@@ -59,6 +96,11 @@ func TestCrossCheckAllBenchmarks(t *testing.T) {
 			if res.Stats.TotalFirings == 0 {
 				t.Error("cross-checked synthesis fired no rules")
 			}
+			em := res.Stats.EngineMetrics()
+			if em.AlphaMems == 0 || em.TokenAsserts == 0 {
+				t.Errorf("Rete network reported no activity: mems=%d tokenAsserts=%d",
+					em.AlphaMems, em.TokenAsserts)
+			}
 		})
 	}
 }
@@ -67,7 +109,7 @@ func firstDiff(a, b string) string {
 	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
 	for i := 0; i < len(al) && i < len(bl); i++ {
 		if al[i] != bl[i] {
-			return fmt.Sprintf("line %d:\n  incremental: %s\n  exhaustive:  %s", i+1, al[i], bl[i])
+			return fmt.Sprintf("line %d:\n  got:        %s\n  exhaustive: %s", i+1, al[i], bl[i])
 		}
 	}
 	return fmt.Sprintf("trace lengths differ: %d vs %d lines", len(al), len(bl))

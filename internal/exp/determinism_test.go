@@ -112,7 +112,7 @@ func normalizeTimings(s string) string {
 }
 
 var (
-	elapsedRE = regexp.MustCompile(`"elapsedMs": [0-9.eE+-]+`)
+	elapsedRE = regexp.MustCompile(`"(elapsedMs|matchTimeMs)": [0-9.eE+-]+`)
 	cachedRE  = regexp.MustCompile(`\n\s*"cached": true,?`)
 	noteRE    = regexp.MustCompile(`\n\s*"note": "[^"]*",?`)
 	// flow-cache occupancy and hit/miss counters track process-wide cache
@@ -123,7 +123,7 @@ var (
 )
 
 func normalizeJSON(s string) string {
-	s = elapsedRE.ReplaceAllString(s, `"elapsedMs": 0`)
+	s = elapsedRE.ReplaceAllString(s, `"$1": 0`)
 	s = cachedRE.ReplaceAllString(s, "")
 	s = noteRE.ReplaceAllString(s, "")
 	s = cacheCtrRE.ReplaceAllString(s, `"$1": 0`)

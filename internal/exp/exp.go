@@ -166,7 +166,11 @@ func E3(benchName string) (*E3Data, error) {
 }
 
 func e3(ctx context.Context, benchName string) (*E3Data, error) {
-	res, err := compileBench(ctx, benchName, flow.Options{})
+	return e3opts(ctx, benchName, core.Options{})
+}
+
+func e3opts(ctx context.Context, benchName string, copt core.Options) (*E3Data, error) {
+	res, err := compileBench(ctx, benchName, flow.Options{Core: copt})
 	if err != nil {
 		return nil, err
 	}
@@ -228,6 +232,10 @@ func RenderEngineMetrics(w io.Writer, benchName string) error {
 		m.ConflictPeak, m.ConflictMean, m.Cycles, m.Added, m.Invalidated)
 	t.Note("incremental updates: %d deltas vs %d full rebuilds (%d pattern tests total).",
 		m.Deltas, m.Rebuilds, m.MatchCalls)
+	t.Note("Rete network: %d alpha tests feeding %d memories for %d patterns; %d join + %d negation nodes.",
+		m.AlphaTests, m.AlphaMems, m.AlphaPatterns, m.JoinNodes, m.NegNodes)
+	t.Note("network activity: %d alpha evals, %d join tests; tokens +%d -%d (%d live at exit).",
+		m.AlphaEvals, m.JoinTests, m.TokenAsserts, m.TokenRetracts, m.TokensLive)
 	t.Render(w)
 	for _, ph := range d.Stats.Phases {
 		if len(ph.Engine.ConflictSeries) < 2 {

@@ -6,22 +6,29 @@ import (
 	"io"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/flow"
 	"repro/internal/rtl"
 )
 
 // JSONPhase is one synthesis phase of a JSONResult.
 type JSONPhase struct {
-	Name       string  `json:"name"`
-	Rules      int     `json:"rules"`
-	Firings    int     `json:"firings"`
-	Cycles     int     `json:"cycles"`
-	WMPeak     int     `json:"wmPeak"`
-	MatchCalls int     `json:"matchCalls"`
-	Deltas     int     `json:"deltas"`
-	Rebuilds   int     `json:"rebuilds"`
-	CSPeak     int     `json:"conflictPeak"`
-	ElapsedMS  float64 `json:"elapsedMs"`
+	Name        string  `json:"name"`
+	Rules       int     `json:"rules"`
+	Firings     int     `json:"firings"`
+	Cycles      int     `json:"cycles"`
+	WMPeak      int     `json:"wmPeak"`
+	MatchCalls  int     `json:"matchCalls"`
+	MatchTimeMS float64 `json:"matchTimeMs"`
+	Deltas      int     `json:"deltas"`
+	Rebuilds    int     `json:"rebuilds"`
+	CSPeak      int     `json:"conflictPeak"`
+	ElapsedMS   float64 `json:"elapsedMs"`
+	// Rete network activity for the phase (zero under -exhaustive/-lite).
+	AlphaEvals    int `json:"alphaEvals,omitempty"`
+	JoinTests     int `json:"joinTests,omitempty"`
+	TokenAsserts  int `json:"tokenAsserts,omitempty"`
+	TokenRetracts int `json:"tokenRetracts,omitempty"`
 }
 
 // JSONStage is one pipeline stage of a JSONResult: where the compile
@@ -47,48 +54,62 @@ type JSONCache struct {
 // the component counts and the engine cost figures whose trajectory CI
 // tracks across commits (BENCH_*.json).
 type JSONResult struct {
-	Bench      string      `json:"bench"`
-	Ops        int         `json:"ops"`
-	Counts     rtl.Counts  `json:"counts"`
-	Firings    int         `json:"firings"`
-	MatchCalls int         `json:"matchCalls"`
-	ElapsedMS  float64     `json:"elapsedMs"`
-	Phases     []JSONPhase `json:"phases"`
-	Stages     []JSONStage `json:"stages"`
-	FlowCache  JSONCache   `json:"flowCache"`
+	Bench       string      `json:"bench"`
+	Ops         int         `json:"ops"`
+	Counts      rtl.Counts  `json:"counts"`
+	Firings     int         `json:"firings"`
+	MatchCalls  int         `json:"matchCalls"`
+	MatchTimeMS float64     `json:"matchTimeMs"`
+	ElapsedMS   float64     `json:"elapsedMs"`
+	Phases      []JSONPhase `json:"phases"`
+	Stages      []JSONStage `json:"stages"`
+	FlowCache   JSONCache   `json:"flowCache"`
 }
 
 // JSONResults synthesizes every embedded benchmark — in parallel across
 // the flow worker pool — and collects one JSONResult each, in bench.Names
 // order regardless of completion order.
 func JSONResults() ([]JSONResult, error) {
+	return JSONResultsOpts(core.Options{})
+}
+
+// JSONResultsOpts is JSONResults with engine options, so CI can record a
+// Rete-lite or exhaustive baseline next to the default full-Rete run and
+// diff pattern tests and match time between matchers.
+func JSONResultsOpts(copt core.Options) ([]JSONResult, error) {
 	names := bench.Names()
 	out := make([]JSONResult, len(names))
 	err := flow.RunAll(context.Background(), len(names), func(ctx context.Context, i int) error {
-		d, err := e3(ctx, names[i])
+		d, err := e3opts(ctx, names[i], copt)
 		if err != nil {
 			return err
 		}
 		r := JSONResult{
-			Bench:      d.Bench,
-			Ops:        d.TraceOp,
-			Firings:    d.Stats.TotalFirings,
-			MatchCalls: d.Stats.TotalMatchCalls,
-			ElapsedMS:  float64(d.Stats.Elapsed.Microseconds()) / 1000,
+			Bench:       d.Bench,
+			Ops:         d.TraceOp,
+			Firings:     d.Stats.TotalFirings,
+			MatchCalls:  d.Stats.TotalMatchCalls,
+			MatchTimeMS: float64(d.Stats.EngineMetrics().MatchTime.Microseconds()) / 1000,
+			ElapsedMS:   float64(d.Stats.Elapsed.Microseconds()) / 1000,
 		}
 		for _, ph := range d.Stats.Phases {
 			r.Counts = ph.Counts // counts after the last phase run
 			r.Phases = append(r.Phases, JSONPhase{
-				Name:       ph.Name,
-				Rules:      ph.Rules,
-				Firings:    ph.Firings,
-				Cycles:     ph.Cycles,
-				WMPeak:     ph.WMPeak,
-				MatchCalls: ph.Engine.MatchCalls,
-				Deltas:     ph.Engine.Deltas,
-				Rebuilds:   ph.Engine.Rebuilds,
-				CSPeak:     ph.Engine.ConflictPeak,
-				ElapsedMS:  float64(ph.Elapsed.Microseconds()) / 1000,
+				Name:          ph.Name,
+				Rules:         ph.Rules,
+				Firings:       ph.Firings,
+				Cycles:        ph.Cycles,
+				WMPeak:        ph.WMPeak,
+				MatchCalls:    ph.Engine.MatchCalls,
+				MatchTimeMS:   float64(ph.Engine.MatchTime.Microseconds()) / 1000,
+				Deltas:        ph.Engine.Deltas,
+				Rebuilds:      ph.Engine.Rebuilds,
+				CSPeak:        ph.Engine.ConflictPeak,
+				ElapsedMS:     float64(ph.Elapsed.Microseconds()) / 1000,
+				AlphaEvals:    ph.Engine.AlphaEvals,
+				JoinTests:     ph.Engine.JoinTests,
+				TokenAsserts:  ph.Engine.TokenAsserts,
+				TokenRetracts: ph.Engine.TokenRetracts,
 			})
 		}
 		for _, st := range d.Flow.Stages {
@@ -118,7 +139,13 @@ func JSONResults() ([]JSONResult, error) {
 // block reports the artifact cache's process-wide hit/miss/eviction
 // counters after the suite ran.
 func WriteJSON(w io.Writer) error {
-	results, err := JSONResults()
+	return WriteJSONOpts(w, core.Options{})
+}
+
+// WriteJSONOpts is WriteJSON with engine options (daabench -json -lite /
+// -exhaustive record the interpreted-matcher baselines).
+func WriteJSONOpts(w io.Writer, copt core.Options) error {
+	results, err := JSONResultsOpts(copt)
 	if err != nil {
 		return err
 	}

@@ -34,8 +34,8 @@ func (in Input) ContentHash() [sha256.Size]byte {
 //
 // Key covers only declarative options. Live state that cannot be
 // canonicalized — a firing-trace writer, extra rules — is flagged by
-// Cacheable; NoCache is a compilation-path toggle that never changes the
-// result and is excluded.
+// Cacheable; NoCache and Core.ParallelMatch are compilation-path toggles
+// that never change the result and are excluded.
 func (o Options) Key() string {
 	var b strings.Builder
 	alloc := o.Allocator
@@ -43,9 +43,9 @@ func (o Options) Key() string {
 		alloc = AllocDAA
 	}
 	fmt.Fprintf(&b, "alloc=%s", alloc)
-	fmt.Fprintf(&b, ";trace-rules=%t;cleanup=%t;exhaustive=%t;crosscheck=%t;journal=%t",
+	fmt.Fprintf(&b, ";trace-rules=%t;cleanup=%t;exhaustive=%t;lite=%t;crosscheck=%t;journal=%t",
 		!o.Core.DisableTraceRules, !o.Core.DisableCleanup,
-		o.Core.ExhaustiveMatch, o.Core.CrossCheckMatch, o.Core.Journal)
+		o.Core.ExhaustiveMatch, o.Core.LiteMatch, o.Core.CrossCheckMatch, o.Core.Journal)
 	b.WriteString(";core-limits=")
 	writeLimits(&b, o.Core.Limits)
 	b.WriteString(";alloc-limits=")

@@ -3,9 +3,7 @@ package prod
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strings"
-	"time"
 )
 
 // Rule is a production: a named left-hand side of patterns and a right-hand
@@ -45,13 +43,18 @@ func (r *Rule) Specificity() int {
 
 // Engine runs a rule set to quiescence over a working memory.
 //
-// The default matcher is incremental: instantiations persist across
-// recognize-act cycles and only rules whose patterns could be affected by
-// working-memory changes since their last match are re-enumerated (see the
-// package comment). Exhaustive restores the original re-match-everything
-// behavior; CrossCheck runs both matchers in lockstep and panics if they
-// ever select a different instantiation, which is how the equivalence
-// tests pin the refactor down.
+// The default matcher is a full Rete network (rete.go): rule LHSs are
+// compiled at AddRule time into shared alpha constant tests and per-rule
+// beta join chains with stored partial-match tokens, so each WM change
+// reruns only the join work downstream of the memories it touched. Two
+// older matchers remain selectable: Lite keeps the persistent conflict
+// set but re-enumerates affected rules interpretively (the PR 1
+// incremental matcher, matcher_lite.go), and Exhaustive re-matches
+// everything every cycle (the original behavior). CrossCheck runs all
+// three in lockstep and panics if they ever select a different
+// instantiation, which is how the equivalence tests pin the refactors
+// down. Conflict resolution is a total order over instantiations, so
+// equal conflict sets force equal selections whichever matcher built them.
 type Engine struct {
 	WM    *WM
 	rules []*Rule
@@ -68,11 +71,19 @@ type Engine struct {
 	// Exhaustive recomputes every rule's instantiations on every cycle
 	// (the pre-incremental behavior), for comparison and debugging.
 	Exhaustive bool
-	// CrossCheck runs the exhaustive matcher in lockstep with the
-	// incremental one and panics on any divergence in the selected
-	// instantiation. It is a verification mode: roughly the cost of both
-	// matchers combined.
+	// Lite selects the interpreted incremental matcher instead of the Rete
+	// network, as a baseline for benchmarking and a fallback for
+	// debugging. Exhaustive takes precedence over Lite.
+	Lite bool
+	// CrossCheck runs all three matchers in lockstep and panics on any
+	// divergence in the selected instantiation. It is a verification mode:
+	// roughly the cost of the three matchers combined.
 	CrossCheck bool
+	// Parallel, when > 1, shards Rete beta propagation across that many
+	// worker goroutines. Rules' token states are disjoint and the shared
+	// inputs are read-only during propagation, so the firing sequence is
+	// identical to serial mode.
+	Parallel int
 	// Apply, when non-nil, executes registered host effects on behalf of
 	// Tx.Do. Hosts install one dispatcher mapping effect names to appliers;
 	// appliers must be pure applications of decisions already in the
@@ -84,24 +95,20 @@ type Engine struct {
 	firings    int
 	cycles     int
 	matchCalls int
-	perRule    map[string]int
 
-	// Incremental-matcher state. cs is the persistent conflict set, one
-	// slice of instantiations per rule; subClass and subAttr form the
-	// subscription index built at AddRule time; pending buffers WM change
-	// notifications between cycles. Per cycle each subscribed rule either
-	// gets a delta update seeded on the touched elements (needFull false,
-	// touched non-empty) or a full re-enumeration (needFull true — the
-	// initial match, or a change to a class the rule negates, since
-	// negations can enable instantiations that share no element with the
-	// change).
-	cs       [][]*Match
-	subClass map[string][]int
-	subAttr  map[classAttr][]int
-	pending  []Change
-	needFull []bool
-	touched  [][]*Element
-	seeded   bool
+	// pending buffers WM change notifications between cycles; seeded
+	// flips after the first batch, whose changes describe the initial WM
+	// that the matchers' first full match observes directly.
+	pending []Change
+	seeded  bool
+
+	// The three matchers. rete is the default; reteSynced tracks whether
+	// its network state reflects the live WM (it goes stale while another
+	// mode drives the engine, and resyncs on re-entry). lite mirrors the
+	// same lifecycle with per-rule staleness flags.
+	rete       *rete
+	reteSynced bool
+	lite       liteState
 
 	// Journal-recording state: jr is the journal being filled (nil when
 	// recording is off), jrEnc the host value encoder, cur the firing
@@ -112,10 +119,6 @@ type Engine struct {
 	cur   *Firing
 
 	met engineMetrics
-}
-
-type classAttr struct {
-	class, attr string
 }
 
 // refraction keys an instantiation: a rule plus the identity *and recency*
@@ -141,9 +144,11 @@ func NewEngine(wm *WM) *Engine {
 		WM:         wm,
 		MaxFirings: 1_000_000,
 		fired:      map[refraction]bool{},
-		perRule:    map[string]int{},
-		subClass:   map[string][]int{},
-		subAttr:    map[classAttr][]int{},
+		rete:       newRete(),
+		lite: liteState{
+			subClass: map[string][]int{},
+			subAttr:  map[classAttr][]int{},
+		},
 	}
 	wm.Observe(func(c Change) {
 		e.pending = append(e.pending, c)
@@ -157,13 +162,11 @@ func NewEngine(wm *WM) *Engine {
 // AddRule registers a rule. Registration order is the final conflict-
 // resolution tiebreaker, so rule sets behave deterministically.
 //
-// Registration also builds the rule's subscriptions: every pattern —
-// negated ones included, since an add can invalidate and a remove can
-// enable a negation — subscribes to its class (for makes and removes) and
-// to each attribute it tests (for modifies). Pattern predicates (Pred)
-// must therefore be pure functions of the attribute value; join state that
-// changes outside working memory belongs in Where, which is re-evaluated
-// every cycle.
+// Registration compiles the rule's LHS into the Rete network (compile.go)
+// and builds the Rete-lite subscription index. Pattern predicates (Pred)
+// must be pure functions of the attribute value; join state that changes
+// outside working memory belongs in Where, which is re-evaluated every
+// cycle.
 func (e *Engine) AddRule(r *Rule) {
 	if r.Name == "" {
 		panic("prod: rule without a name")
@@ -179,6 +182,13 @@ func (e *Engine) AddRule(r *Rule) {
 	}
 	rc := *r
 	rc.index = len(e.rules)
+	// Rule values are shared across engines (and across goroutines when
+	// the flow pool runs synthesis concurrently), so flatten the builder
+	// chains on a private copy of the pattern slice.
+	rc.Patterns = append([]Pattern(nil), r.Patterns...)
+	for i := range rc.Patterns {
+		rc.Patterns[i].finalize()
+	}
 	for _, p := range rc.Patterns {
 		rc.specificity += p.specificity()
 		if !p.Negated {
@@ -191,34 +201,9 @@ func (e *Engine) AddRule(r *Rule) {
 		}
 	}
 	e.rules = append(e.rules, &rc)
-	e.cs = append(e.cs, nil)
-	e.needFull = append(e.needFull, true) // never matched yet
-	e.touched = append(e.touched, nil)
 	e.met.rules = append(e.met.rules, ruleCounters{})
-	for _, p := range rc.Patterns {
-		e.subscribeClass(p.Class, rc.index)
-		for _, t := range p.tests {
-			e.subscribeAttr(classAttr{p.Class, t.attr}, rc.index)
-		}
-	}
-}
-
-func (e *Engine) subscribeClass(class string, idx int) {
-	for _, i := range e.subClass[class] {
-		if i == idx {
-			return
-		}
-	}
-	e.subClass[class] = append(e.subClass[class], idx)
-}
-
-func (e *Engine) subscribeAttr(k classAttr, idx int) {
-	for _, i := range e.subAttr[k] {
-		if i == idx {
-			return
-		}
-	}
-	e.subAttr[k] = append(e.subAttr[k], idx)
+	e.lite.addRule(&rc)
+	e.rete.addRule(&rc, e)
 }
 
 // Rules returns the registered rules in registration order.
@@ -233,11 +218,13 @@ func (e *Engine) Firings() int { return e.firings }
 // Cycles reports the number of recognize-act cycles executed.
 func (e *Engine) Cycles() int { return e.cycles }
 
-// FiringsByRule returns a copy of the per-rule firing counts.
+// FiringsByRule returns the per-rule firing counts (fired rules only).
 func (e *Engine) FiringsByRule() map[string]int {
-	out := make(map[string]int, len(e.perRule))
-	for k, v := range e.perRule {
-		out[k] = v
+	out := map[string]int{}
+	for i, r := range e.rules {
+		if n := e.met.rules[i].firings; n > 0 {
+			out[r.Name] = n
+		}
 	}
 	return out
 }
@@ -245,8 +232,8 @@ func (e *Engine) FiringsByRule() map[string]int {
 // FiringsByCategory aggregates firing counts by rule category.
 func (e *Engine) FiringsByCategory() map[string]int {
 	out := map[string]int{}
-	for _, r := range e.rules {
-		if n := e.perRule[r.Name]; n > 0 {
+	for i, r := range e.rules {
+		if n := e.met.rules[i].firings; n > 0 {
 			out[r.Category] += n
 		}
 	}
@@ -274,7 +261,6 @@ func (e *Engine) Run() error {
 		}
 		e.fired[e.refractionKey(m)] = true
 		e.firings++
-		e.perRule[m.Rule.Name]++
 		e.met.rules[m.Rule.index].firings++
 		if e.TraceWriter != nil {
 			fmt.Fprintf(e.TraceWriter, "%6d  %-40s %s\n", e.firings, m.Rule.Name, matchIDs(m))
@@ -298,6 +284,10 @@ func (e *Engine) Run() error {
 	return nil
 }
 
+// matchIDs renders a match's element IDs for trace lines and divergence
+// panics. It allocates, so it lives only on those cold paths — selection
+// itself keys matches by the comparable refraction struct and ranks them
+// with fixed-size recencyRank values.
 func matchIDs(m *Match) string {
 	parts := make([]string, len(m.Elements))
 	for i, el := range m.Elements {
@@ -336,28 +326,57 @@ func (e *Engine) refractionKey(m *Match) refraction {
 //  4. registration order, then element IDs (determinism)
 //
 // The ordering is total over distinct instantiations (two matches of one
-// rule with identical elements are the same instantiation), so the
-// incremental and exhaustive matchers necessarily agree; CrossCheck
-// asserts it anyway.
+// rule with identical elements are the same instantiation), so all three
+// matchers necessarily agree; CrossCheck asserts it anyway.
 func (e *Engine) selectMatch() *Match {
-	if e.Exhaustive && !e.CrossCheck {
-		// Drop the buffered changes but mark everything dirty, so the
-		// incremental state stays correct if Exhaustive is toggled off.
-		e.pending = e.pending[:0]
-		for i := range e.needFull {
-			e.needFull[i] = true
+	e.applyChanges()
+	if e.CrossCheck {
+		m := e.selectRete(true)
+		lite := e.selectLite(false)
+		exh := e.selectExhaustive(false)
+		if !sameInstantiation(m, lite) || !sameInstantiation(m, exh) {
+			panic(fmt.Sprintf("prod: cross-check divergence at cycle %d:\n  rete:       %s\n  rete-lite:  %s\n  exhaustive: %s",
+				e.cycles, describeMatch(m), describeMatch(lite), describeMatch(exh)))
 		}
+		return m
+	}
+	if e.Exhaustive {
 		return e.selectExhaustive(true)
 	}
-	m := e.selectIncremental()
-	if e.CrossCheck {
-		ref := e.selectExhaustive(false)
-		if !sameInstantiation(m, ref) {
-			panic(fmt.Sprintf("prod: cross-check divergence at cycle %d:\n  incremental: %s\n  exhaustive:  %s",
-				e.cycles, describeMatch(m), describeMatch(ref)))
-		}
+	if e.Lite {
+		return e.selectLite(true)
 	}
-	return m
+	return e.selectRete(true)
+}
+
+// applyChanges drains the buffered WM notifications into whichever
+// matchers the current mode needs, and marks the inactive ones stale so
+// mode flips mid-run resynchronize instead of reading outdated state.
+func (e *Engine) applyChanges() {
+	reteOn := e.CrossCheck || (!e.Exhaustive && !e.Lite)
+	liteOn := e.CrossCheck || (e.Lite && !e.Exhaustive)
+	if !e.seeded {
+		// The buffered changes describe the seeding of the initial WM,
+		// which each matcher's first full match observes directly.
+		e.seeded = true
+		e.pending = e.pending[:0]
+	}
+	if reteOn {
+		if !e.reteSynced {
+			e.rete.resync(e)
+			e.reteSynced = true
+		} else if len(e.pending) > 0 {
+			e.rete.apply(e, e.pending)
+		}
+	} else {
+		e.reteSynced = false
+	}
+	if liteOn {
+		e.liteApply(e.pending)
+	} else {
+		e.lite.markAllStale()
+	}
+	e.pending = e.pending[:0]
 }
 
 func describeMatch(m *Match) string {
@@ -382,39 +401,53 @@ func sameInstantiation(a, b *Match) bool {
 	return true
 }
 
-// selectIncremental brings the persistent conflict set up to date with the
-// working-memory changes buffered since the last cycle, then scans it.
-func (e *Engine) selectIncremental() *Match {
-	e.applyChanges()
+// selectRete scans the Rete network's per-rule conflict sets.
+func (e *Engine) selectRete(observe bool) *Match {
+	return e.pickBest(func(i int) []*Match { return e.rete.rules[i].cs }, observe)
+}
+
+// selectLite scans the Rete-lite persistent conflict set.
+func (e *Engine) selectLite(observe bool) *Match {
+	return e.pickBest(func(i int) []*Match { return e.lite.cs[i] }, observe)
+}
+
+// pickBest applies conflict resolution over per-rule conflict sets. The
+// scan allocates nothing: refraction keys and recency ranks are
+// fixed-size values (see BenchmarkSelectionAllocs).
+func (e *Engine) pickBest(get func(int) []*Match, observe bool) *Match {
 	size := 0
 	var best *Match
-	var bestKey []int
+	var bestRank recencyRank
 	for i, r := range e.rules {
-		size += len(e.cs[i])
-		for _, m := range e.cs[i] {
+		ms := get(i)
+		size += len(ms)
+		for _, m := range ms {
 			if e.fired[e.refractionKey(m)] {
 				continue
 			}
 			if r.Where != nil && !r.Where(m) {
 				continue
 			}
-			key := recencyKey(m)
-			if best == nil || better(m, key, best, bestKey) {
+			var rk recencyRank
+			rk.init(m)
+			if best == nil || betterRank(m, &rk, best, &bestRank) {
 				best = m
-				bestKey = key
+				bestRank = rk
 			}
 		}
 	}
-	e.met.observeConflictSize(size)
+	if observe {
+		e.met.observeConflictSize(size)
+	}
 	return best
 }
 
-// selectExhaustive re-enumerates every rule, the pre-incremental strategy.
-// It is kept both as the CrossCheck reference (count=false: reference runs
+// selectExhaustive re-enumerates every rule, the original strategy. It is
+// kept both as the CrossCheck ground truth (count=false: reference runs
 // do not perturb the match-call statistics) and as the Exhaustive mode.
 func (e *Engine) selectExhaustive(count bool) *Match {
 	var best *Match
-	var bestKey []int
+	var bestRank recencyRank
 	for _, r := range e.rules {
 		e.enumerate(r, -1, nil, nil, count, func(m *Match) {
 			if r.Where != nil && !r.Where(m) {
@@ -423,200 +456,87 @@ func (e *Engine) selectExhaustive(count bool) *Match {
 			if e.fired[e.refractionKey(m)] {
 				return
 			}
-			key := recencyKey(m)
-			if best == nil || better(m, key, best, bestKey) {
+			var rk recencyRank
+			rk.init(m)
+			if best == nil || betterRank(m, &rk, best, &bestRank) {
 				best = m
-				bestKey = key
+				bestRank = rk
 			}
 		})
 	}
 	return best
 }
 
-// applyChanges drains the buffered WM notifications, routes each through
-// the subscription index, and brings exactly the affected rules up to
-// date: a delta update seeded on the touched elements in the common case,
-// a full re-enumeration when a rule has never matched or a class it
-// negates was touched. The first call matches every rule against the
-// initial working memory.
-func (e *Engine) applyChanges() {
-	if !e.seeded {
-		// needFull[i] is already true for every rule; the buffered changes
-		// describe the seeding of the initial WM, which the full first
-		// match observes directly.
-		e.seeded = true
-		e.pending = e.pending[:0]
+// conflictSet returns rule i's current instantiations from whichever
+// matcher is live (used by the metrics snapshot and tests).
+func (e *Engine) conflictSet(i int) []*Match {
+	if e.reteSynced {
+		return e.rete.rules[i].cs
 	}
-	for _, ch := range e.pending {
-		class := ch.El.Class
-		switch ch.Kind {
-		case ChangeMake, ChangeRemove:
-			for _, i := range e.subClass[class] {
-				e.markTouched(i, ch.El)
-			}
-		case ChangeModify:
-			for _, a := range ch.Attrs {
-				for _, i := range e.subAttr[classAttr{class, a}] {
-					e.markTouched(i, ch.El)
-				}
-			}
-		}
-	}
-	e.pending = e.pending[:0]
-	for i := range e.rules {
-		switch {
-		case e.needFull[i]:
-			e.rebuild(e.rules[i])
-		case len(e.touched[i]) > 0:
-			e.delta(e.rules[i], e.touched[i])
-		}
-		e.needFull[i] = false
-		e.touched[i] = e.touched[i][:0]
-	}
+	return e.lite.cs[i]
 }
 
-// markTouched records that el changed in a way rule i subscribed to. A
-// change to a class the rule negates forces a full re-enumeration: it can
-// enable or disable instantiations that share no element with el.
-func (e *Engine) markTouched(i int, el *Element) {
-	if e.needFull[i] {
+// maxInlineRecency is the widest recency key kept on the stack; matches
+// with more positive patterns fall back to a heap-allocated key.
+const maxInlineRecency = 16
+
+// recencyRank is a match's conflict-resolution sort key: its elements'
+// time tags in descending order. It replaces a per-candidate []int +
+// sort.Sort allocation pair with a fixed-size insertion sort — selection
+// visits every instantiation every cycle, so this is the hot path.
+type recencyRank struct {
+	n        int
+	t        [maxInlineRecency]int
+	overflow []int // descending times when n > maxInlineRecency
+}
+
+func (k *recencyRank) init(m *Match) {
+	k.n = len(m.Elements)
+	if k.n > maxInlineRecency {
+		k.overflow = make([]int, k.n)
+		for i, el := range m.Elements {
+			k.overflow[i] = el.Time
+		}
+		sortDescending(k.overflow)
 		return
 	}
-	if e.rules[i].negClasses[el.Class] {
-		e.needFull[i] = true
-		return
-	}
-	for _, x := range e.touched[i] {
-		if x == el {
-			return
-		}
-	}
-	e.touched[i] = append(e.touched[i], el)
-}
-
-// rebuild re-enumerates one rule's instantiations from scratch and diffs
-// them against the previous set for the added/invalidated metrics.
-func (e *Engine) rebuild(r *Rule) {
-	t0 := time.Now()
-	old := e.cs[r.index]
-	var fresh []*Match
-	e.enumerate(r, -1, nil, nil, true, func(m *Match) { fresh = append(fresh, m) })
-	e.cs[r.index] = fresh
-
-	rm := &e.met.rules[r.index]
-	rm.rebuilds++
-	rm.matchTime += time.Since(t0)
-	added, invalidated := diffInstantiations(e, old, fresh)
-	rm.added += added
-	rm.invalidated += invalidated
-	e.met.added += added
-	e.met.invalidated += invalidated
-	e.met.rebuilds++
-}
-
-// delta incrementally updates one rule's instantiations after a batch of
-// element changes: instantiations containing a touched element are
-// dropped, then the joins *through* each touched element are re-enumerated
-// with that element pinned in place — the Rete idea of matching the change
-// rather than the working memory. Each new instantiation is attributed to
-// its first touched position (earlier positions exclude touched elements),
-// so a batch never adds an instantiation twice.
-func (e *Engine) delta(r *Rule, touched []*Element) {
-	t0 := time.Now()
-	old := e.cs[r.index]
-	kept := old[:0]
-	dropped := 0
-	for _, m := range old {
-		if matchTouches(m, touched) {
-			dropped++
-			continue
-		}
-		kept = append(kept, m)
-	}
-	added := 0
-	for _, x := range touched {
-		if !x.Live() {
-			continue
-		}
-		for pi, p := range r.Patterns {
-			if p.Negated || p.Class != x.Class {
-				continue
-			}
-			e.enumerate(r, pi, x, touched, true, func(m *Match) {
-				kept = append(kept, m)
-				added++
-			})
-		}
-	}
-	e.cs[r.index] = kept
-
-	rm := &e.met.rules[r.index]
-	rm.deltas++
-	rm.matchTime += time.Since(t0)
-	rm.added += added
-	rm.invalidated += dropped
-	e.met.added += added
-	e.met.invalidated += dropped
-	e.met.deltas++
-}
-
-func matchTouches(m *Match, touched []*Element) bool {
-	for _, el := range m.Elements {
-		for _, x := range touched {
-			if el == x {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// diffInstantiations counts, by refraction key (rule + element identity +
-// recency), how many instantiations appear only in fresh (added) and only
-// in old (invalidated).
-func diffInstantiations(e *Engine, old, fresh []*Match) (added, invalidated int) {
-	switch {
-	case len(old) == 0:
-		return len(fresh), 0
-	case len(fresh) == 0:
-		return 0, len(old)
-	}
-	prev := make(map[refraction]int, len(old))
-	for _, m := range old {
-		prev[e.refractionKey(m)]++
-	}
-	for _, m := range fresh {
-		k := e.refractionKey(m)
-		if prev[k] > 0 {
-			prev[k]--
-		} else {
-			added++
-		}
-	}
-	for _, n := range prev {
-		invalidated += n
-	}
-	return added, invalidated
-}
-
-func recencyKey(m *Match) []int {
-	times := make([]int, len(m.Elements))
 	for i, el := range m.Elements {
-		times[i] = el.Time
+		t := el.Time
+		j := i
+		for j > 0 && k.t[j-1] < t {
+			k.t[j] = k.t[j-1]
+			j--
+		}
+		k.t[j] = t
 	}
-	sort.Sort(sort.Reverse(sort.IntSlice(times)))
-	return times
 }
 
-func better(m *Match, key []int, best *Match, bestKey []int) bool {
-	// Recency, lexicographic on descending time tags.
-	for i := 0; i < len(key) && i < len(bestKey); i++ {
-		if key[i] != bestKey[i] {
-			return key[i] > bestKey[i]
+func (k *recencyRank) at(i int) int {
+	if k.overflow != nil {
+		return k.overflow[i]
+	}
+	return k.t[i]
+}
+
+func sortDescending(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] < xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
 		}
 	}
-	if len(key) != len(bestKey) {
-		return len(key) > len(bestKey)
+}
+
+// betterRank reports whether m (with rank k) beats best (with rank bk)
+// under conflict resolution rules 2-4 (refraction is filtered upstream).
+func betterRank(m *Match, k *recencyRank, best *Match, bk *recencyRank) bool {
+	// Recency, lexicographic on descending time tags.
+	for i := 0; i < k.n && i < bk.n; i++ {
+		if a, b := k.at(i), bk.at(i); a != b {
+			return a > b
+		}
+	}
+	if k.n != bk.n {
+		return k.n > bk.n
 	}
 	// Specificity.
 	if m.Rule.specificity != best.Rule.specificity {
@@ -634,109 +554,10 @@ func better(m *Match, key []int, best *Match, bestKey []int) bool {
 	return false
 }
 
-// enumerate yields instantiations of r's patterns under the current
-// working memory, in deterministic candidate order. Where is *not* applied
-// here: it is a per-cycle test, evaluated at selection time. Candidate
-// elements per pattern come from the narrowest applicable index: an Eq
-// test, or a Bind test whose variable is already bound, hashes directly to
-// the matching elements.
-//
-// With pinPat < 0 every instantiation is yielded (a full enumeration).
-// Otherwise pattern pinPat is pinned to the single element pin, and
-// positive patterns *before* pinPat skip every element in touched: the
-// delta update calls this once per (touched element, matching pattern)
-// pair, and the exclusion attributes each new instantiation to its first
-// touched position so none is yielded twice. Negated patterns always test
-// the full working memory.
-func (e *Engine) enumerate(r *Rule, pinPat int, pin *Element, touched []*Element, count bool, yield func(*Match)) {
-	var env bindings
-	els := make([]*Element, 0, len(r.Patterns))
-	pinned := [1]*Element{pin}
-	tested := 0
-	var rec func(pi int)
-	rec = func(pi int) {
-		if pi == len(r.Patterns) {
-			yield(&Match{Rule: r, Elements: append([]*Element(nil), els...), binds: env.snapshot()})
-			return
-		}
-		p := r.Patterns[pi]
-		var candidates []*Element
-		if pi == pinPat {
-			candidates = pinned[:]
-		} else {
-			candidates = e.candidates(p, &env)
-		}
-		if p.Negated {
-			for _, el := range candidates {
-				tested++
-				if mark, ok := p.match(el, &env); ok {
-					env.undo(mark)
-					return // negation fails
-				}
-			}
-			rec(pi + 1)
-			return
-		}
-		excludeTouched := pinPat >= 0 && pi < pinPat
-		for _, el := range candidates {
-			if excludeTouched && containsElement(touched, el) {
-				continue
-			}
-			tested++
-			if mark, ok := p.match(el, &env); ok {
-				els = append(els, el)
-				rec(pi + 1)
-				els = els[:len(els)-1]
-				env.undo(mark)
-			}
-		}
-	}
-	rec(0)
-	if count {
-		e.matchCalls += tested
-		e.met.rules[r.index].matchCalls += tested
-	}
-}
-
-func containsElement(set []*Element, el *Element) bool {
-	for _, x := range set {
-		if x == el {
-			return true
-		}
-	}
-	return false
-}
-
-// candidates returns the narrowest element set the working-memory indexes
-// offer for a pattern under the current bindings.
-func (e *Engine) candidates(p Pattern, b *bindings) []*Element {
-	best := e.WM.byClass[p.Class]
-	for _, t := range p.tests {
-		if len(best) <= 2 {
-			break // already narrow; further hashing costs more than it saves
-		}
-		var key any
-		switch t.kind {
-		case testEq:
-			key = t.val
-		case testBind:
-			v, bound := b.get(t.vari)
-			if !bound {
-				continue
-			}
-			key = v
-		default:
-			continue
-		}
-		if set := e.WM.lookup(p.Class, t.attr, key); len(set) < len(best) {
-			best = set
-		}
-	}
-	return best
-}
-
-// MatchCount reports how many pattern tests the matcher has executed;
-// exposed for the engine benchmarks and the observability layer.
+// MatchCount reports how many pattern tests the matcher has executed
+// (alpha constant-test evaluations plus beta join tests for the Rete
+// network; interpreted test counts for the other matchers); exposed for
+// the engine benchmarks and the observability layer.
 func (e *Engine) MatchCount() int { return e.matchCalls }
 
 // KnowledgeStats describes a rule set for reporting (experiment E1).

@@ -41,11 +41,12 @@ func testRules() []*Rule {
 	}
 }
 
-// instantiationSet canonicalizes a conflict set as sorted "rule:ids" lines.
+// instantiationSet canonicalizes the active matcher's conflict set as
+// sorted "rule:ids" lines.
 func instantiationSet(e *Engine) []string {
 	var out []string
-	for i, ms := range e.cs {
-		for _, m := range ms {
+	for i := range e.rules {
+		for _, m := range e.conflictSet(i) {
 			ids := make([]string, len(m.Elements))
 			for j, el := range m.Elements {
 				ids[j] = fmt.Sprintf("%d@%d", el.ID, el.Time)
@@ -57,15 +58,25 @@ func instantiationSet(e *Engine) []string {
 	return out
 }
 
-// groundTruth enumerates the conflict set from scratch on a fresh engine
-// over the same working memory and rules.
+// groundTruth enumerates the conflict set with the exhaustive interpreted
+// matcher over the same working memory and rules.
 func groundTruth(wm *WM, rules []*Rule) []string {
 	ref := NewEngine(wm)
 	for _, r := range rules {
 		ref.AddRule(r)
 	}
-	ref.applyChanges() // first call: full enumeration of every rule
-	return ref.instantiations()
+	var out []string
+	for _, r := range ref.rules {
+		ref.enumerate(r, -1, nil, nil, false, func(m *Match) {
+			ids := make([]string, len(m.Elements))
+			for j, el := range m.Elements {
+				ids[j] = fmt.Sprintf("%d@%d", el.ID, el.Time)
+			}
+			out = append(out, fmt.Sprintf("%s:%s", r.Name, strings.Join(ids, ",")))
+		})
+	}
+	sort.Strings(out)
+	return out
 }
 
 func (e *Engine) instantiations() []string { return instantiationSet(e) }
@@ -136,16 +147,20 @@ func liveOnly(els []*Element) []*Element {
 }
 
 // Property: after arbitrary interleavings of make/modify/remove, applied
-// in batches like rule actions produce them, the incrementally maintained
-// conflict set equals a from-scratch recompute over the same WM.
+// in batches like rule actions produce them, both incrementally maintained
+// conflict sets — the Rete network's stored tokens and the Rete-lite
+// persistent set — equal an exhaustive recompute over the same WM.
 func TestIncrementalConflictSetEqualsRecompute(t *testing.T) {
 	rules := testRules()
 	for seed := int64(0); seed < 30; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		wm := NewWM()
 		eng := NewEngine(wm)
+		lite := NewEngine(wm)
+		lite.Lite = true
 		for _, r := range rules {
 			eng.AddRule(r)
+			lite.AddRule(r)
 		}
 		var live []*Element
 		for round := 0; round < 25; round++ {
@@ -153,8 +168,12 @@ func TestIncrementalConflictSetEqualsRecompute(t *testing.T) {
 				applyRandomOp(rng, wm, &live)
 			}
 			eng.applyChanges()
-			diffStrings(t, fmt.Sprintf("seed %d round %d", seed, round),
-				eng.instantiations(), groundTruth(wm, rules))
+			lite.applyChanges()
+			want := groundTruth(wm, rules)
+			diffStrings(t, fmt.Sprintf("rete seed %d round %d", seed, round),
+				eng.instantiations(), want)
+			diffStrings(t, fmt.Sprintf("lite seed %d round %d", seed, round),
+				lite.instantiations(), want)
 			if t.Failed() {
 				return
 			}
@@ -168,6 +187,26 @@ func FuzzIncrementalConflictSet(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3, 8, 9, 16, 42})
 	f.Add([]byte{255, 254, 0, 0, 7, 7, 7})
 	f.Add([]byte{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3})
+	// Join-ordering stress seeds: interleavings that historically trip
+	// token maintenance. Byte decoding: b%4 selects make-a / make-b /
+	// modify / remove; b%8==5 ends a batch, so runs of non-5 bytes pack
+	// many changes into one propagation.
+	//
+	// Same-g "a" elements asserted together, then one's g flipped and the
+	// other removed in a single batch: self-join tokens must appear once
+	// per ordered pair and retract cleanly.
+	f.Add([]byte{16, 32, 16, 32, 13, 78, 206, 138, 13, 39, 7, 255})
+	// make/remove churn of "b" elements against standing "a" partners:
+	// negated-pattern tokens flip blocked/unblocked repeatedly within and
+	// across batches.
+	f.Add([]byte{16, 48, 80, 5, 9, 25, 41, 13, 3, 19, 35, 5, 9, 3, 13, 9, 3, 5})
+	// modify-heavy run on shared join attributes with no intervening
+	// batch boundaries until the end: rebinding g migrates tokens between
+	// join partners while asserts/retracts for the same elements are
+	// still queued.
+	f.Add([]byte{16, 32, 48, 80, 94, 222, 94, 222, 158, 30, 94, 206, 78, 13})
+	// remove-then-remake of join pivots at alternating batch boundaries.
+	f.Add([]byte{16, 48, 3, 5, 16, 13, 3, 21, 16, 29, 3, 5, 19, 35, 13})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 256 {
 			data = data[:256]
@@ -175,8 +214,11 @@ func FuzzIncrementalConflictSet(f *testing.F) {
 		rules := testRules()
 		wm := NewWM()
 		eng := NewEngine(wm)
+		lite := NewEngine(wm)
+		lite.Lite = true
 		for _, r := range rules {
 			eng.AddRule(r)
+			lite.AddRule(r)
 		}
 		var live []*Element
 		for i := 0; i < len(data); i++ {
@@ -202,10 +244,13 @@ func FuzzIncrementalConflictSet(f *testing.F) {
 			}
 			if b%8 == 5 || i == len(data)-1 { // batch boundary
 				eng.applyChanges()
-				got := eng.instantiations()
+				lite.applyChanges()
 				want := groundTruth(wm, rules)
-				if fmt.Sprint(got) != fmt.Sprint(want) {
-					t.Fatalf("conflict set diverged at byte %d\n  incremental: %v\n  from-scratch: %v", i, got, want)
+				if got := eng.instantiations(); fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("rete conflict set diverged at byte %d\n  rete: %v\n  from-scratch: %v", i, got, want)
+				}
+				if got := lite.instantiations(); fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("lite conflict set diverged at byte %d\n  lite: %v\n  from-scratch: %v", i, got, want)
 				}
 			}
 		}

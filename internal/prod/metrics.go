@@ -15,6 +15,12 @@ type engineMetrics struct {
 	added       int
 	invalidated int
 
+	// Rete network activity (zero when only the interpreted matchers ran).
+	alphaEvals    int
+	joinTests     int
+	tokenAsserts  int
+	tokenRetracts int
+
 	sizePeak   int
 	sizeSum    int
 	sizeCount  int
@@ -83,11 +89,12 @@ type RuleMetrics struct {
 type Metrics struct {
 	Cycles      int
 	Firings     int
-	MatchCalls  int // total pattern tests executed
-	Rebuilds    int // full rule re-enumerations performed
-	Deltas      int // incremental conflict-set updates performed
-	Added       int // instantiations that entered the conflict set
-	Invalidated int // instantiations that left it
+	MatchCalls  int           // total pattern tests executed
+	MatchTime   time.Duration // wall time spent matching, summed over rules
+	Rebuilds    int           // full rule re-enumerations performed
+	Deltas      int           // incremental conflict-set updates performed
+	Added       int           // instantiations that entered the conflict set
+	Invalidated int           // instantiations that left it
 
 	ConflictPeak int     // largest conflict set observed
 	ConflictMean float64 // mean conflict-set size over cycles
@@ -95,6 +102,23 @@ type Metrics struct {
 	// per SeriesStride cycles (bounded; long runs are downsampled).
 	ConflictSeries []int
 	SeriesStride   int
+
+	// Rete network shape and activity. The shape counters (tests, mems,
+	// nodes) describe the compiled network; AlphaPatterns / AlphaMems is
+	// the alpha-sharing ratio across the rule set. The activity counters
+	// partition MatchCalls for the Rete matcher: AlphaEvals constant-test
+	// evaluations (deduplicated by the per-element cache) plus JoinTests
+	// beta join evaluations.
+	AlphaTests    int // distinct compiled constant tests
+	AlphaMems     int // shared alpha memories
+	AlphaPatterns int // compiled patterns fed by those memories
+	AlphaEvals    int // constant-test evaluations performed
+	JoinNodes     int // positive beta join nodes
+	NegNodes      int // negative (negated-pattern) nodes
+	JoinTests     int // beta join-closure evaluations
+	TokenAsserts  int // partial-match tokens created
+	TokenRetracts int // partial-match tokens deleted
+	TokensLive    int // tokens currently stored in the network
 
 	Rules []RuleMetrics // per-rule breakdown, registration order
 }
@@ -113,7 +137,17 @@ func (e *Engine) Metrics() Metrics {
 		Invalidated:  e.met.invalidated,
 		ConflictPeak: e.met.sizePeak,
 		SeriesStride: e.met.stride,
+
+		AlphaTests:    e.rete.alpha.nTests,
+		AlphaMems:     len(e.rete.alpha.memList),
+		AlphaPatterns: e.rete.patterns,
+		AlphaEvals:    e.met.alphaEvals,
+		JoinTests:     e.met.joinTests,
+		TokenAsserts:  e.met.tokenAsserts,
+		TokenRetracts: e.met.tokenRetracts,
+		TokensLive:    e.rete.tokensLive(),
 	}
+	m.JoinNodes, m.NegNodes = e.rete.nodeCounts()
 	if e.met.sizeCount > 0 {
 		m.ConflictMean = float64(e.met.sizeSum) / float64(e.met.sizeCount)
 	}
@@ -121,6 +155,7 @@ func (e *Engine) Metrics() Metrics {
 	m.Rules = make([]RuleMetrics, len(e.rules))
 	for i, r := range e.rules {
 		c := e.met.rules[i]
+		m.MatchTime += c.matchTime
 		m.Rules[i] = RuleMetrics{
 			Name:        r.Name,
 			Category:    r.Category,
@@ -131,7 +166,7 @@ func (e *Engine) Metrics() Metrics {
 			MatchTime:   c.matchTime,
 			Added:       c.added,
 			Invalidated: c.invalidated,
-			Size:        len(e.cs[i]),
+			Size:        len(e.conflictSet(i)),
 		}
 	}
 	return m
@@ -159,10 +194,21 @@ func (m Metrics) Merge(o Metrics) Metrics {
 	m.Cycles = totalCycles
 	m.Firings += o.Firings
 	m.MatchCalls += o.MatchCalls
+	m.MatchTime += o.MatchTime
 	m.Rebuilds += o.Rebuilds
 	m.Deltas += o.Deltas
 	m.Added += o.Added
 	m.Invalidated += o.Invalidated
+	m.AlphaTests += o.AlphaTests
+	m.AlphaMems += o.AlphaMems
+	m.AlphaPatterns += o.AlphaPatterns
+	m.AlphaEvals += o.AlphaEvals
+	m.JoinNodes += o.JoinNodes
+	m.NegNodes += o.NegNodes
+	m.JoinTests += o.JoinTests
+	m.TokenAsserts += o.TokenAsserts
+	m.TokenRetracts += o.TokenRetracts
+	m.TokensLive += o.TokensLive
 	if o.ConflictPeak > m.ConflictPeak {
 		m.ConflictPeak = o.ConflictPeak
 	}

@@ -22,6 +22,18 @@ type test struct {
 	pred func(any) bool
 }
 
+// testNode is one link in the builder's persistent test list. Pattern is a
+// value type and builder chains may branch off a shared prefix, so the
+// fluent methods cannot append into a shared slice; instead each call
+// prepends one immutable node in O(1) and AddRule flattens the list once
+// into the tests slice the matchers iterate. The DAA's 48 rules build a
+// few hundred tests at startup, and before this representation every
+// builder call re-copied its whole prefix (O(n²) per pattern).
+type testNode struct {
+	prev *testNode
+	t    test
+}
+
 // Pattern matches one working-memory element of a given class, subject to
 // attribute tests. Patterns are value types built fluently:
 //
@@ -32,7 +44,10 @@ type test struct {
 type Pattern struct {
 	Class   string
 	Negated bool
-	tests   []test
+
+	chain *testNode // builder accumulation, newest first
+	n     int       // tests in chain
+	tests []test    // flattened by finalize (AddRule time)
 }
 
 // P starts a positive pattern on a class.
@@ -42,49 +57,68 @@ func P(class string) Pattern { return Pattern{Class: class} }
 // class satisfies the tests under the current bindings.
 func N(class string) Pattern { return Pattern{Class: class, Negated: true} }
 
+func (p Pattern) add(t test) Pattern {
+	p.chain = &testNode{prev: p.chain, t: t}
+	p.n++
+	p.tests = nil
+	return p
+}
+
 // Eq requires attr to equal the constant v.
 func (p Pattern) Eq(attr string, v any) Pattern {
-	p.tests = append(append([]test(nil), p.tests...), test{kind: testEq, attr: attr, val: v})
-	return p
+	return p.add(test{kind: testEq, attr: attr, val: v})
 }
 
 // Neq requires attr to differ from the constant v (absent attributes differ).
 func (p Pattern) Neq(attr string, v any) Pattern {
-	p.tests = append(append([]test(nil), p.tests...), test{kind: testNeq, attr: attr, val: v})
-	return p
+	return p.add(test{kind: testNeq, attr: attr, val: v})
 }
 
 // Bind unifies attr with the named variable: the first occurrence binds it,
 // later occurrences must match. The attribute must be present.
 func (p Pattern) Bind(attr, variable string) Pattern {
-	p.tests = append(append([]test(nil), p.tests...), test{kind: testBind, attr: attr, vari: variable})
-	return p
+	return p.add(test{kind: testBind, attr: attr, vari: variable})
 }
 
 // Absent requires attr to be missing.
 func (p Pattern) Absent(attr string) Pattern {
-	p.tests = append(append([]test(nil), p.tests...), test{kind: testAbsent, attr: attr})
-	return p
+	return p.add(test{kind: testAbsent, attr: attr})
 }
 
 // Present requires attr to be present.
 func (p Pattern) Present(attr string) Pattern {
-	p.tests = append(append([]test(nil), p.tests...), test{kind: testPresent, attr: attr})
-	return p
+	return p.add(test{kind: testPresent, attr: attr})
 }
 
 // Pred requires attr to be present and satisfy f.
 func (p Pattern) Pred(attr string, f func(any) bool) Pattern {
-	p.tests = append(append([]test(nil), p.tests...), test{kind: testPred, attr: attr, pred: f})
-	return p
+	return p.add(test{kind: testPred, attr: attr, pred: f})
+}
+
+// finalize flattens the builder list into the tests slice, in call order.
+// Idempotent; AddRule finalizes its private copy of each pattern, so the
+// matchers only ever see flattened patterns.
+func (p *Pattern) finalize() {
+	if p.tests != nil || p.n == 0 {
+		return
+	}
+	p.tests = make([]test, p.n)
+	i := p.n
+	for n := p.chain; n != nil; n = n.prev {
+		i--
+		p.tests[i] = n.t
+	}
 }
 
 // specificity counts the tests contributed to conflict resolution.
-func (p Pattern) specificity() int { return len(p.tests) + 1 } // +1 for the class test
+func (p Pattern) specificity() int { return p.n + 1 } // +1 for the class test
 
 // match checks the pattern against an element under the mutable binding
 // environment. On success any new variables remain bound; the caller
-// restores the environment to the returned mark when backtracking.
+// restores the environment to the returned mark when backtracking. It is
+// the interpreted test path used by the exhaustive and Rete-lite matchers;
+// the full Rete network compiles the same tests to closures instead
+// (compile.go).
 func (p Pattern) match(e *Element, b *bindings) (mark int, ok bool) {
 	mark = b.mark()
 	if e.Class != p.Class {
@@ -137,8 +171,8 @@ func (p Pattern) match(e *Element, b *bindings) (mark int, ok bool) {
 }
 
 // bindings is a mutable variable environment with trail-based undo: binds
-// push, backtracking truncates. This keeps the matcher allocation-free on
-// failed candidates, which dominate the join work.
+// push, backtracking truncates. This keeps the interpreted matchers
+// allocation-free on failed candidates, which dominate the join work.
 type bindings struct {
 	names []string
 	vals  []any
@@ -179,6 +213,11 @@ type Match struct {
 	Rule     *Rule
 	Elements []*Element // one per positive pattern, in pattern order
 	binds    bindings
+
+	// tok back-links a Rete-produced match to its production-node token so
+	// retraction can remove it from the conflict set in O(1). Nil for
+	// matches produced by the interpreted matchers.
+	tok *token
 }
 
 // El returns the element matched by the i-th positive pattern.

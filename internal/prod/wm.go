@@ -11,19 +11,25 @@
 // specificity, then declaration order — and fires it, until the conflict
 // set is empty or a rule halts the engine.
 //
-// Like OPS5's Rete network, the matcher is incremental: the conflict set
-// persists across recognize-act cycles. The working memory emits a change
-// notification for every Make, Modify, and Remove, and the engine keeps a
-// subscription index, built at AddRule time, mapping each (class, attribute)
-// a rule's patterns test — negated patterns included, since an add can
-// invalidate and a remove can enable them — to the rules whose
-// instantiations could change. Each cycle only the affected rules are
-// re-matched; everything else keeps its instantiations from earlier
-// cycles. Conflict-resolution semantics are bit-for-bit those of the
-// exhaustive matcher (kept as Engine.Exhaustive), and Engine.CrossCheck
-// runs both in lockstep, diffing the selected instantiation every cycle.
-// See Engine.Metrics for the per-rule match-cost observability this
-// enables.
+// The default matcher is a compiled Rete network (rete.go, alpha.go,
+// beta.go, compile.go): each rule's left-hand side is compiled at AddRule
+// time into interned alpha constant tests feeding shared alpha memories,
+// and a chain of beta join nodes holding partial-match tokens — negated
+// patterns become negative nodes carrying per-token blocker lists. The
+// working memory emits a change notification for every Make, Modify, and
+// Remove; between firings the network propagates only those deltas, so
+// match work is proportional to change, not to working-memory size.
+// Engine.Parallel shards beta propagation across workers (rule-striped,
+// deterministic by construction).
+//
+// Two interpreted matchers are kept alongside it: Engine.Lite selects the
+// Rete-lite matcher (matcher_lite.go), which re-enumerates whole rules on
+// a (class, attribute) subscription index, and Engine.Exhaustive recomputes
+// the conflict set from scratch each cycle. Conflict-resolution semantics
+// — refraction, recency, specificity, declaration order — are bit-for-bit
+// identical across all three, and Engine.CrossCheck runs them in lockstep,
+// diffing the selected instantiation every cycle. See Engine.Metrics for
+// the per-rule match-cost and network observability this enables.
 package prod
 
 import (

@@ -28,11 +28,15 @@ type metrics struct {
 	deadlineExceeded atomic.Int64 // syntheses interrupted by deadline
 	panics           atomic.Int64 // handler panics recovered to 500
 
-	synthesized atomic.Int64 // compilations that ran to completion
-	firings     atomic.Int64 // prod rollups across completed DAA runs
-	matchCalls  atomic.Int64
-	deltas      atomic.Int64
-	rebuilds    atomic.Int64
+	synthesized   atomic.Int64 // compilations that ran to completion
+	firings       atomic.Int64 // prod rollups across completed DAA runs
+	matchCalls    atomic.Int64
+	deltas        atomic.Int64
+	rebuilds      atomic.Int64
+	alphaEvals    atomic.Int64 // Rete network rollups across completed runs
+	joinTests     atomic.Int64
+	tokenAsserts  atomic.Int64
+	tokenRetracts atomic.Int64
 
 	explainReq     atomic.Int64 // GET /v1/explain requests
 	journaledRuns  atomic.Int64 // completed syntheses that carried a journal
@@ -53,6 +57,10 @@ func (m *metrics) observeResult(res *flow.Result) {
 		em := st.EngineMetrics()
 		m.deltas.Add(int64(em.Deltas))
 		m.rebuilds.Add(int64(em.Rebuilds))
+		m.alphaEvals.Add(int64(em.AlphaEvals))
+		m.joinTests.Add(int64(em.JoinTests))
+		m.tokenAsserts.Add(int64(em.TokenAsserts))
+		m.tokenRetracts.Add(int64(em.TokenRetracts))
 		if j := res.Synth.Journal; j != nil {
 			firings, effects := j.Counts()
 			m.journaledRuns.Add(1)
@@ -127,12 +135,16 @@ type AdmissionCounts struct {
 // which advances even for runs that were interrupted mid-synthesis — the
 // observable proof that cancellation stops the engine.
 type EngineRollup struct {
-	CyclesTotal uint64 `json:"cyclesTotal"`
-	Synthesized int64  `json:"synthesized"`
-	Firings     int64  `json:"firings"`
-	MatchCalls  int64  `json:"matchCalls"`
-	Deltas      int64  `json:"deltas"`
-	Rebuilds    int64  `json:"rebuilds"`
+	CyclesTotal   uint64 `json:"cyclesTotal"`
+	Synthesized   int64  `json:"synthesized"`
+	Firings       int64  `json:"firings"`
+	MatchCalls    int64  `json:"matchCalls"`
+	Deltas        int64  `json:"deltas"`
+	Rebuilds      int64  `json:"rebuilds"`
+	AlphaEvals    int64  `json:"alphaEvals"`
+	JoinTests     int64  `json:"joinTests"`
+	TokenAsserts  int64  `json:"tokenAsserts"`
+	TokenRetracts int64  `json:"tokenRetracts"`
 }
 
 // Metrics snapshots the server's counters.
@@ -176,12 +188,16 @@ func (s *Server) Metrics() MetricsResponse {
 		ExplainCache: s.explain.stats(),
 		StagesMS:     stages,
 		Engine: EngineRollup{
-			CyclesTotal: prod.TotalEngineCycles(),
-			Synthesized: m.synthesized.Load(),
-			Firings:     m.firings.Load(),
-			MatchCalls:  m.matchCalls.Load(),
-			Deltas:      m.deltas.Load(),
-			Rebuilds:    m.rebuilds.Load(),
+			CyclesTotal:   prod.TotalEngineCycles(),
+			Synthesized:   m.synthesized.Load(),
+			Firings:       m.firings.Load(),
+			MatchCalls:    m.matchCalls.Load(),
+			Deltas:        m.deltas.Load(),
+			Rebuilds:      m.rebuilds.Load(),
+			AlphaEvals:    m.alphaEvals.Load(),
+			JoinTests:     m.joinTests.Load(),
+			TokenAsserts:  m.tokenAsserts.Load(),
+			TokenRetracts: m.tokenRetracts.Load(),
 		},
 		Journal: JournalRollup{
 			ExplainRequests: m.explainReq.Load(),

@@ -644,6 +644,9 @@ func TestHealthzAndMetrics(t *testing.T) {
 	if m.Engine.CyclesTotal == 0 || m.Engine.Firings == 0 || m.Engine.Synthesized == 0 {
 		t.Errorf("engine rollup %+v, want nonzero activity", m.Engine)
 	}
+	if m.Engine.AlphaEvals == 0 || m.Engine.JoinTests == 0 || m.Engine.TokenAsserts == 0 || m.Engine.TokenRetracts == 0 {
+		t.Errorf("engine rollup %+v, want nonzero Rete network counters", m.Engine)
+	}
 	if m.StagesMS[flow.StageAllocate] <= 0 {
 		t.Errorf("stage wall-time map %+v, want allocate > 0", m.StagesMS)
 	}

@@ -41,6 +41,11 @@ type Config struct {
 	MaxDeadline time.Duration
 	// MaxBatch bounds sources per batch request (default 256).
 	MaxBatch int
+	// ParallelMatch shards the production engine's Rete beta propagation
+	// across this many workers for every synthesis (0 = serial). A server
+	// setting rather than a request option: it never changes results, only
+	// the compilation path, so it is excluded from cache keys.
+	ParallelMatch int
 	// Logger receives one line per request, tagged with the request ID.
 	// Nil discards logs (tests).
 	Logger *log.Logger
@@ -427,6 +432,7 @@ func (s *Server) runOne(ctx context.Context, req SynthesizeRequest, admit bool) 
 			Error: err.Error(), Kind: KindRequest, RequestID: id,
 		}}
 	}
+	opt.Core.ParallelMatch = s.cfg.ParallelMatch
 
 	// Cache lookup happens before admission: a repeat submission is served
 	// in O(lookup) without consuming queue capacity or a worker token.
