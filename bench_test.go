@@ -277,6 +277,27 @@ func BenchmarkProductionEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkE9Cosim — the verification extension: every benchmark through
+// the pipeline's emit and cosim stages, asserting equivalence as it runs.
+func BenchmarkE9Cosim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.E9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples := 0
+		for _, r := range rows {
+			if !r.Report.Equivalent {
+				b.Fatalf("%s: %s", r.Bench, r.Report.Summary())
+			}
+			samples += r.Report.Samples
+		}
+		if i == 0 {
+			b.ReportMetric(float64(samples), "samples/suite")
+		}
+	}
+}
+
 // BenchmarkE7Ablation — the knowledge-ablation extension: full DAA vs the
 // rule base with trace refinement and global improvement removed.
 func BenchmarkE7Ablation(b *testing.B) {

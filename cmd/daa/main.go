@@ -10,6 +10,8 @@
 //	daa -bench gcd -trace               print every rule firing
 //	daa -bench gcd -control             print the derived control table
 //	daa -bench gcd -verilog             emit the datapath as Verilog
+//	daa -bench gcd -verify              co-simulate behavioral vs RTL, report equivalence
+//	daa -bench gcd -emit-verilog f.v    write the emitted Verilog artifact to a file
 //	daa -bench gcd -flow                emit the controller graph as DOT
 //	daa -bench gcd -no-cleanup          skip the global-improvement phase
 //	daa -bench gcd -engine-stats        print the production-engine metrics
@@ -55,6 +57,9 @@ type options struct {
 	parallel    int
 	control     bool
 	verilog     bool
+	verify      bool
+	emitVerilog string
+	cosimSeed   uint64
 	flow        bool
 	stageTiming bool
 	explain     string
@@ -78,6 +83,9 @@ func main() {
 	flag.IntVar(&o.parallel, "parallel-match", 0, "shard Rete beta propagation across this many workers (0 = serial)")
 	flag.BoolVar(&o.control, "control", false, "print the derived control-signal table")
 	flag.BoolVar(&o.verilog, "verilog", false, "emit the datapath as structural Verilog and exit")
+	flag.BoolVar(&o.verify, "verify", false, "co-simulate the behavioral description against the synthesized design and report an equivalence verdict (a mismatch exits 3)")
+	flag.StringVar(&o.emitVerilog, "emit-verilog", "", "write the emit stage's Verilog to this file, alongside the report")
+	flag.Uint64Var(&o.cosimSeed, "cosim-seed", 0, "stimulus seed for -verify (0 = default)")
 	flag.BoolVar(&o.flow, "flow", false, "emit the controller state graph as Graphviz and exit")
 	flag.BoolVar(&o.stageTiming, "stage-timing", false, "print wall time per pipeline stage")
 	flag.StringVar(&o.explain, "explain", "", "explain components whose label contains this selector (\"all\" for every component); prints their rule-firing provenance instead of the report")
@@ -114,6 +122,9 @@ func run(w io.Writer, o options) error {
 			ParallelMatch:   o.parallel,
 			Journal:         o.explain != "" || o.journal != "",
 		},
+		EmitVerilog: o.verilog || o.emitVerilog != "",
+		Cosim:       o.verify,
+		CosimSeed:   o.cosimSeed,
 	}
 	switch o.allocator {
 	case flow.AllocDAA, flow.AllocLeftEdge, flow.AllocNaive:
@@ -156,20 +167,27 @@ func run(w io.Writer, o options) error {
 			return err
 		}
 	}
+	if o.emitVerilog != "" {
+		if err := os.WriteFile(o.emitVerilog, []byte(res.Verilog), 0o644); err != nil {
+			return err
+		}
+	}
 	if o.explain != "" {
-		return writeExplain(w, res, o.explain)
+		if err := writeExplain(w, res, o.explain); err != nil {
+			return err
+		}
+		return cosimVerdict(w, res.Cosim, true)
 	}
 
 	if o.verilog {
-		var sb strings.Builder
-		if err := res.Design.WriteVerilog(&sb, res.Design.Name); err != nil {
-			return err
-		}
-		fmt.Fprint(w, sb.String())
-		return nil
+		fmt.Fprint(w, res.Verilog) // rendered by the pipeline's emit stage
+		return cosimVerdict(w, res.Cosim, true)
 	}
 	if o.flow {
-		return res.Design.WriteControlFlowDot(w)
+		if err := res.Design.WriteControlFlowDot(w); err != nil {
+			return err
+		}
+		return cosimVerdict(w, res.Cosim, true)
 	}
 
 	// The deterministic report block is shared with the daemon
@@ -186,6 +204,24 @@ func run(w io.Writer, o options) error {
 			return err
 		}
 		fmt.Fprint(w, sb.String())
+	}
+	return cosimVerdict(w, res.Cosim, false)
+}
+
+// cosimVerdict prints the equivalence block of a -verify run (suppressed
+// in machine-output modes, where the stream must stay pure) and turns a
+// mismatch into an internal-failure exit: a design that disagrees with its
+// own behavioral description must not pass silently.
+func cosimVerdict(w io.Writer, rep *flow.CosimReport, machine bool) error {
+	if rep == nil {
+		return nil
+	}
+	if !machine {
+		fmt.Fprintln(w)
+		rep.Write(w)
+	}
+	if !rep.Equivalent {
+		return fmt.Errorf("cosimulation mismatch: %s", rep.Summary())
 	}
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"os"
 	"strings"
 	"syscall"
 	"time"
@@ -40,9 +41,11 @@ func runRemote(w io.Writer, in flow.Input, o options) error {
 			NoCleanup:  o.noCleanup,
 			Exhaustive: o.exhaustive,
 			Provenance: o.explain != "",
+			Verify:     o.verify,
+			CosimSeed:  o.cosimSeed,
 		},
 		Artifacts: serve.ArtifactRequest{
-			Verilog:      o.verilog,
+			Verilog:      o.verilog || o.emitVerilog != "",
 			ControlTable: o.control,
 			Dot:          o.flow,
 		},
@@ -53,7 +56,18 @@ func runRemote(w io.Writer, in flow.Input, o options) error {
 	if err != nil {
 		return err
 	}
+	if o.verify && resp.Equivalence == nil {
+		return fmt.Errorf("remote %s: response carries no equivalence verdict (daemon too old?)", o.remote)
+	}
+	// The wire verdict rebuilds the flow-layer report, so the verdict block
+	// below is byte-identical to a local -verify run.
+	rep := resp.Equivalence.CosimReport()
 
+	if o.emitVerilog != "" {
+		if err := os.WriteFile(o.emitVerilog, []byte(resp.Artifacts.Verilog), 0o644); err != nil {
+			return err
+		}
+	}
 	if o.explain != "" {
 		if resp.Provenance == nil {
 			return fmt.Errorf("remote %s: response carries no provenance key (daemon too old?)", o.remote)
@@ -64,15 +78,15 @@ func runRemote(w io.Writer, in flow.Input, o options) error {
 		}
 		writeExplainHeader(w, ex.Design, o.explain, ex.Matched)
 		fmt.Fprint(w, ex.Text)
-		return nil
+		return cosimVerdict(w, rep, true)
 	}
 	if o.verilog {
 		fmt.Fprint(w, resp.Artifacts.Verilog)
-		return nil
+		return cosimVerdict(w, rep, true)
 	}
 	if o.flow {
 		fmt.Fprint(w, resp.Artifacts.Dot)
-		return nil
+		return cosimVerdict(w, rep, true)
 	}
 	fmt.Fprint(w, resp.Report)
 	if o.stageTiming {
@@ -83,7 +97,7 @@ func runRemote(w io.Writer, in flow.Input, o options) error {
 		fmt.Fprintln(w, "\ncontrol table:")
 		fmt.Fprint(w, resp.Artifacts.ControlTable)
 	}
-	return nil
+	return cosimVerdict(w, rep, false)
 }
 
 // retryBackoff is the pause before the single retry of an idempotent

@@ -9,6 +9,7 @@
 //	E6 / Table 4   cross-benchmark design quality
 //	E7 (extension) knowledge-ablation study
 //	E8 (engine)    per-rule match cost and conflict-set statistics
+//	E9 (extension) behavioral-vs-RTL cosimulation verdicts
 //	STAGES         per-stage pipeline wall time (internal/flow)
 //
 // Usage:
@@ -19,6 +20,7 @@
 //	daabench -bench gcd      use a different benchmark for E2/E3/E4/E8/STAGES
 //	daabench -json           emit machine-readable per-benchmark results
 //	daabench -json -lite     same, on the interpreted Rete-lite matcher
+//	daabench -json -verify   same, with cosim verdicts and stage timings
 //
 // With -json the tables are replaced by one JSON document with component
 // counts, firings, match calls, match and elapsed time, Rete network
@@ -26,7 +28,9 @@
 // benchmark and phase, for recording the bench trajectory (BENCH_*.json)
 // from CI. -lite and -exhaustive rerun the suite on the interpreted
 // matchers, so CI can diff pattern tests and match time against the
-// compiled Rete network. The suite-wide experiments fan
+// compiled Rete network; -verify adds the emit and cosim stages so the
+// equivalence verdict and cosim timing ride in the same record. The
+// suite-wide experiments fan
 // out across a bounded worker pool; the output stays byte-deterministic
 // apart from the measured times. Usage mistakes exit 1; internal failures
 // exit 3.
@@ -54,11 +58,12 @@ import (
 
 func main() {
 	var (
-		only      = flag.String("only", "", "run a single experiment: E1..E8, or 'stages'")
+		only      = flag.String("only", "", "run a single experiment: E1..E9, or 'stages'")
 		benchName = flag.String("bench", "mcs6502", "benchmark for E2, E3, E4, E8, and stages")
 		asJSON    = flag.Bool("json", false, "emit machine-readable per-benchmark results instead of tables")
 		lite      = flag.Bool("lite", false, "with -json: use the interpreted Rete-lite matcher (baseline for match-cost diffs)")
 		exhaust   = flag.Bool("exhaustive", false, "with -json: recompute the conflict set from scratch every cycle")
+		verify    = flag.Bool("verify", false, "with -json: run the emit and cosim stages and record the equivalence verdict per benchmark")
 		loadgen   = flag.Bool("loadgen", false, "replay the embedded suite against a daad daemon (see -addr, -c, -n)")
 		addr      = flag.String("addr", "", "daad base URL for -loadgen (e.g. http://localhost:8547)")
 		clients   = flag.Int("c", 32, "concurrent clients for -loadgen")
@@ -76,7 +81,7 @@ func main() {
 			asJSON:      *asJSON,
 		})
 	} else {
-		err = run(os.Stdout, strings.ToUpper(*only), *benchName, *asJSON, core.Options{
+		err = run(os.Stdout, strings.ToUpper(*only), *benchName, *asJSON, *verify, core.Options{
 			LiteMatch:       *lite,
 			ExhaustiveMatch: *exhaust,
 		})
@@ -87,15 +92,18 @@ func main() {
 	}
 }
 
-func run(w io.Writer, only, benchName string, asJSON bool, copt core.Options) error {
+func run(w io.Writer, only, benchName string, asJSON, verify bool, copt core.Options) error {
 	if asJSON {
 		if only != "" {
 			return flow.Usagef("-json runs the whole suite; drop -only")
 		}
-		return exp.WriteJSONOpts(w, copt)
+		return exp.WriteJSONOpts(w, copt, verify)
 	}
 	if copt.LiteMatch || copt.ExhaustiveMatch {
 		return flow.Usagef("-lite/-exhaustive record matcher baselines; combine them with -json")
+	}
+	if verify {
+		return flow.Usagef("-verify records cosim verdicts; combine it with -json (or run -only E9 for the table)")
 	}
 	switch only {
 	case "":
@@ -117,9 +125,11 @@ func run(w io.Writer, only, benchName string, asJSON bool, copt core.Options) er
 		return exp.RenderE7(w)
 	case "E8", "ENGINE":
 		return exp.RenderEngineMetrics(w, benchName)
+	case "E9", "COSIM":
+		return exp.RenderE9(w)
 	case "STAGES":
 		return exp.RenderStageTiming(w, benchName)
 	default:
-		return flow.Usagef("unknown experiment %q (want E1..E8, or stages)", only)
+		return flow.Usagef("unknown experiment %q (want E1..E9, or stages)", only)
 	}
 }

@@ -11,7 +11,7 @@ import (
 
 func TestSingleExperiments(t *testing.T) {
 	for _, e := range []string{"E1", "E2", "E3", "E4", "E8", "STAGES"} {
-		if err := run(io.Discard, e, "gcd", false, core.Options{}); err != nil {
+		if err := run(io.Discard, e, "gcd", false, false, core.Options{}); err != nil {
 			t.Fatalf("%s: %v", e, err)
 		}
 	}
@@ -19,7 +19,7 @@ func TestSingleExperiments(t *testing.T) {
 
 func TestStageTimingTable(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "STAGES", "gcd", false, core.Options{}); err != nil {
+	if err := run(&sb, "STAGES", "gcd", false, false, core.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -30,23 +30,46 @@ func TestStageTimingTable(t *testing.T) {
 	}
 }
 
+func TestCosimTable(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "E9", "gcd", false, false, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"E9", "cosimulation", "verdict", "PASS", "gcd", "mcs6502"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cosim table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("cosim table reports a failing benchmark:\n%s", out)
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
-	err := run(io.Discard, "E9", "gcd", false, core.Options{})
+	err := run(io.Discard, "E42", "gcd", false, false, core.Options{})
 	if flow.ExitCode(err) != flow.ExitUsage {
 		t.Errorf("unknown experiment: exit %d (%v), want usage", flow.ExitCode(err), err)
 	}
 }
 
 func TestUnknownBenchmark(t *testing.T) {
-	if err := run(io.Discard, "E2", "nope", false, core.Options{}); err == nil {
+	if err := run(io.Discard, "E2", "nope", false, false, core.Options{}); err == nil {
 		t.Error("expected error for unknown benchmark")
 	}
 }
 
 func TestJSONRejectsOnly(t *testing.T) {
-	err := run(io.Discard, "E2", "gcd", true, core.Options{})
+	err := run(io.Discard, "E2", "gcd", true, false, core.Options{})
 	if flow.ExitCode(err) != flow.ExitUsage {
 		t.Errorf("-json with -only: exit %d (%v), want usage", flow.ExitCode(err), err)
+	}
+}
+
+func TestVerifyRequiresJSON(t *testing.T) {
+	err := run(io.Discard, "", "gcd", false, true, core.Options{})
+	if flow.ExitCode(err) != flow.ExitUsage {
+		t.Errorf("-verify without -json: exit %d (%v), want usage", flow.ExitCode(err), err)
 	}
 }
 
@@ -55,7 +78,7 @@ func TestJSONOutputShape(t *testing.T) {
 		t.Skip("full-suite synthesis in -short mode")
 	}
 	var sb strings.Builder
-	if err := run(&sb, "", "mcs6502", true, core.Options{}); err != nil {
+	if err := run(&sb, "", "mcs6502", true, false, core.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -63,5 +86,27 @@ func TestJSONOutputShape(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("JSON output missing %q", want)
 		}
+	}
+	if strings.Contains(out, `"equivalent"`) {
+		t.Error("JSON output carries a verdict without -verify")
+	}
+}
+
+func TestJSONVerifyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite cosimulation in -short mode")
+	}
+	var sb strings.Builder
+	if err := run(&sb, "", "mcs6502", true, true, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"equivalent": true`, `"name": "cosim"`, `"name": "emit"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-json -verify output missing %q", want)
+		}
+	}
+	if strings.Contains(out, `"equivalent": false`) {
+		t.Error("-json -verify reports a non-equivalent benchmark")
 	}
 }

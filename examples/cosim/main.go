@@ -1,12 +1,16 @@
-// Cosim: the verification story. The same 6502 machine-code program runs
-// through the behavioral ISPS interpreter and through the register-transfer
-// design the DAA synthesized, step by step; the architectural state must
-// agree. The example finishes by emitting the synthesized datapath as
-// structural Verilog.
+// Cosim: the verification story, twice over. First the pipeline's own
+// cosim stage — flow.Options{Cosim: true} — runs seeded random stimulus
+// through the behavioral ISPS interpreter and the synthesized
+// register-transfer design in lockstep and reports an equivalence
+// verdict; the emit stage renders the datapath as structural Verilog in
+// the same compile. Then a directed test drives the same two machines by
+// hand: a 6502 machine-code program executes on both sides and the
+// architectural state must agree.
 //
-// One flow.Compile run provides both sides: the analyzed AST (res.AST)
-// drives the behavioral interpreter, the synthesized structure
-// (res.Design) drives the register-transfer simulator.
+// One flow.Compile run provides everything: the verdict (res.Cosim), the
+// Verilog (res.Verilog), the analyzed AST for the behavioral interpreter
+// (res.AST), and the synthesized structure for the register-transfer
+// simulator (res.Design).
 //
 //	go run ./examples/cosim
 package main
@@ -15,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"repro/internal/bench"
@@ -28,13 +33,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := flow.Compile(context.Background(), in, flow.Options{})
+	res, err := flow.Compile(context.Background(), in, flow.Options{
+		EmitVerilog: true,
+		Cosim:       true,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// A tiny program: sum 1..5 with a compare/branch loop substitute
-	// (unrolled adds), then store the total.
+	// The staged pipeline already verified the design: the cosim stage's
+	// verdict is on the result, and `daa -bench mcs6502 -verify` prints
+	// this same block.
+	fmt.Println("pipeline cosim stage (seeded random stimulus):")
+	res.Cosim.Write(os.Stdout)
+	if !res.Cosim.Equivalent {
+		log.Fatal("cosim stage found a mismatch")
+	}
+
+	// A directed test on top: sum 1..5 with a compare/branch loop
+	// substitute (unrolled adds), then store the total.
 	program := []uint64{
 		0xA9, 0x00, // LDA #0
 		0x18,       // CLC
@@ -69,7 +86,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Println("co-simulation of the MCS6502 design vs the behavioral reference:")
+	fmt.Println("\ndirected co-simulation of the MCS6502 design vs the behavioral reference:")
 	agree := true
 	for _, reg := range []string{"A", "X", "Y", "S", "P", "PC"} {
 		want, _ := ref.Get(reg)
@@ -88,15 +105,11 @@ func main() {
 		log.Fatal("designs disagree")
 	}
 
-	fmt.Println("\nfirst lines of the exported structural Verilog:")
-	var sb strings.Builder
-	if err := res.Design.WriteVerilog(&sb, "mcs6502_datapath"); err != nil {
-		log.Fatal(err)
-	}
-	lines := strings.SplitN(sb.String(), "\n", 16)
+	fmt.Println("\nfirst lines of the emit stage's structural Verilog:")
+	lines := strings.SplitN(res.Verilog, "\n", 16)
 	for _, l := range lines[:15] {
 		fmt.Println("  " + l)
 	}
 	fmt.Printf("  ... (%d lines total; control inputs asserted per Design.ControlTable)\n",
-		strings.Count(sb.String(), "\n"))
+		strings.Count(res.Verilog, "\n"))
 }

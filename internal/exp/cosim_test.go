@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestE9AllEquivalent is the harness-level acceptance check: every
+// embedded benchmark's synthesized design co-simulates equivalent to its
+// behavioral description, and every row carries evidence (samples) and an
+// emitted artifact (Verilog bytes).
+func TestE9AllEquivalent(t *testing.T) {
+	rows, err := E9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := bench.Names()
+	if len(rows) != len(names) {
+		t.Fatalf("%d rows for %d benchmarks", len(rows), len(names))
+	}
+	for i, r := range rows {
+		if r.Bench != names[i] {
+			t.Errorf("row %d is %s, want %s (order must follow bench.Names)", i, r.Bench, names[i])
+		}
+		if !r.Report.Equivalent {
+			t.Errorf("%s: %s", r.Bench, r.Report.Summary())
+		}
+		if r.Report.Samples == 0 {
+			t.Errorf("%s: verdict with zero samples", r.Bench)
+		}
+		if r.VerilogBytes == 0 {
+			t.Errorf("%s: no Verilog emitted", r.Bench)
+		}
+	}
+}
+
+// TestRenderE9 pins the table's shape.
+func TestRenderE9(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderE9(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"E9 (extension)", "verdict", "samples", "PASS", "seed 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E9 table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("E9 table reports a failure:\n%s", out)
+	}
+}

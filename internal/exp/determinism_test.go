@@ -83,6 +83,8 @@ func normalizeTimings(s string) string {
 			section = "stages"
 		case strings.HasPrefix(ln, "E8 (engine) — per-rule match cost"):
 			section = "e8rules"
+		case strings.HasPrefix(ln, "E9 (extension) — behavioral-vs-RTL"):
+			section = "e9"
 		case trim == "":
 			section = ""
 		}
@@ -92,6 +94,10 @@ func normalizeTimings(s string) string {
 			ln = tailRE.ReplaceAllString(ln, "<t>")
 		case "stages":
 			// every numeric cell is wall time (starred when cached)
+			ln = cellRE.ReplaceAllString(ln, "<t>")
+		case "e9":
+			// the emit/cosim columns are wall time; verdicts and sample
+			// counts are integers and must stay byte-identical
 			ln = cellRE.ReplaceAllString(ln, "<t>")
 		case "e8rules":
 			// the top-N table is ranked by measured match time, so row

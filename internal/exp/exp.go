@@ -157,7 +157,8 @@ type E3Data struct {
 	Bench   string
 	TraceOp int
 	Stats   core.Stats
-	Flow    flow.Trace // per-stage pipeline timing of the run
+	Flow    flow.Trace        // per-stage pipeline timing of the run
+	Cosim   *flow.CosimReport // equivalence verdict; nil unless cosim ran
 }
 
 // E3 runs the DAA and collects the per-phase statistics.
@@ -170,7 +171,11 @@ func e3(ctx context.Context, benchName string) (*E3Data, error) {
 }
 
 func e3opts(ctx context.Context, benchName string, copt core.Options) (*E3Data, error) {
-	res, err := compileBench(ctx, benchName, flow.Options{Core: copt})
+	return e3flow(ctx, benchName, flow.Options{Core: copt})
+}
+
+func e3flow(ctx context.Context, benchName string, opt flow.Options) (*E3Data, error) {
+	res, err := compileBench(ctx, benchName, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -179,6 +184,7 @@ func e3opts(ctx context.Context, benchName string, copt core.Options) (*E3Data, 
 		TraceOp: res.VT.OpCount(),
 		Stats:   res.Synth.Stats,
 		Flow:    res.Trace,
+		Cosim:   res.Cosim,
 	}, nil
 }
 
@@ -527,6 +533,9 @@ func All(w io.Writer) error {
 		return err
 	}
 	if err := RenderE7(w); err != nil {
+		return err
+	}
+	if err := RenderE9(w); err != nil {
 		return err
 	}
 	if err := RenderStageTiming(w); err != nil {

@@ -64,23 +64,28 @@ type JSONResult struct {
 	Phases      []JSONPhase `json:"phases"`
 	Stages      []JSONStage `json:"stages"`
 	FlowCache   JSONCache   `json:"flowCache"`
+	// Equivalent is the cosim verdict under -verify (nil otherwise); the
+	// emit and cosim stage timings appear in Stages like any other stage.
+	Equivalent *bool `json:"equivalent,omitempty"`
 }
 
 // JSONResults synthesizes every embedded benchmark — in parallel across
 // the flow worker pool — and collects one JSONResult each, in bench.Names
 // order regardless of completion order.
 func JSONResults() ([]JSONResult, error) {
-	return JSONResultsOpts(core.Options{})
+	return JSONResultsOpts(core.Options{}, false)
 }
 
 // JSONResultsOpts is JSONResults with engine options, so CI can record a
 // Rete-lite or exhaustive baseline next to the default full-Rete run and
-// diff pattern tests and match time between matchers.
-func JSONResultsOpts(copt core.Options) ([]JSONResult, error) {
+// diff pattern tests and match time between matchers. With verify, every
+// benchmark additionally runs the emit and cosim stages and the record
+// carries the equivalence verdict plus their stage timings.
+func JSONResultsOpts(copt core.Options, verify bool) ([]JSONResult, error) {
 	names := bench.Names()
 	out := make([]JSONResult, len(names))
 	err := flow.RunAll(context.Background(), len(names), func(ctx context.Context, i int) error {
-		d, err := e3opts(ctx, names[i], copt)
+		d, err := e3flow(ctx, names[i], flow.Options{Core: copt, EmitVerilog: verify, Cosim: verify})
 		if err != nil {
 			return err
 		}
@@ -125,6 +130,10 @@ func JSONResultsOpts(copt core.Options) ([]JSONResult, error) {
 				r.FlowCache.Misses++
 			}
 		}
+		if d.Cosim != nil {
+			eq := d.Cosim.Equivalent
+			r.Equivalent = &eq
+		}
 		out[i] = r
 		return nil
 	})
@@ -139,13 +148,14 @@ func JSONResultsOpts(copt core.Options) ([]JSONResult, error) {
 // block reports the artifact cache's process-wide hit/miss/eviction
 // counters after the suite ran.
 func WriteJSON(w io.Writer) error {
-	return WriteJSONOpts(w, core.Options{})
+	return WriteJSONOpts(w, core.Options{}, false)
 }
 
 // WriteJSONOpts is WriteJSON with engine options (daabench -json -lite /
-// -exhaustive record the interpreted-matcher baselines).
-func WriteJSONOpts(w io.Writer, copt core.Options) error {
-	results, err := JSONResultsOpts(copt)
+// -exhaustive record the interpreted-matcher baselines; -json -verify adds
+// the cosim verdict and the emit/cosim stage timings).
+func WriteJSONOpts(w io.Writer, copt core.Options, verify bool) error {
+	results, err := JSONResultsOpts(copt, verify)
 	if err != nil {
 		return err
 	}

@@ -8,10 +8,13 @@
 //
 //	res, err := flow.Compile(ctx, flow.Input{Name: "gcd.isps", Source: src}, flow.Options{})
 //
-// Compile runs six stages — parse → sema → build (Value Trace construction
-// and validation) → allocate (DAA or a baseline allocator) → validate
-// (register-transfer structural checks) → cost — and carries three
-// cross-cutting concerns for all of them:
+// Compile runs a memoized front half — parse → sema → build (Value Trace
+// construction and validation) — and then a composable back-end stage
+// list: the mandatory allocate (DAA or a baseline allocator) → validate
+// (register-transfer structural checks) → cost spine, plus the optional
+// emit (structural Verilog onto Result.Verilog) and cosim (behavioral-
+// vs-RTL equivalence verdict onto Result.Cosim) stages selected through
+// Options. Every stage is a named unit with three cross-cutting concerns:
 //
 //   - Diagnostics. Input errors come back as a DiagnosticList with
 //     file/line/column positions threaded up from internal/isps, and the
@@ -47,7 +50,9 @@ import (
 	"repro/internal/vt"
 )
 
-// Stage names, in pipeline order.
+// Stage names, in pipeline order. Parse through build form the memoized
+// front half; the rest are back-end stages assembled per option set (see
+// backStages), with emit and cosim present only when selected.
 const (
 	StageParse    = "parse"
 	StageSema     = "sema"
@@ -55,6 +60,8 @@ const (
 	StageAllocate = "allocate"
 	StageValidate = "validate"
 	StageCost     = "cost"
+	StageEmit     = "emit"
+	StageCosim    = "cosim"
 )
 
 // Allocator names accepted by Options.Allocator.
@@ -96,6 +103,27 @@ type Options struct {
 	// NoCache bypasses the front-end artifact cache: the compilation
 	// parses and builds privately and nothing is memoized.
 	NoCache bool
+	// EmitVerilog adds the emit stage: the synthesized datapath renders
+	// as structural Verilog, carried on Result.Verilog.
+	EmitVerilog bool
+	// Cosim adds the cosim stage: seeded stimulus runs through the
+	// behavioral interpreter on the AST and the register-transfer
+	// simulator on the design, and the equivalence verdict is carried on
+	// Result.Cosim. A mismatch does not fail Compile.
+	Cosim bool
+	// CosimSeed/CosimVectors/CosimCycles tune the cosim stimulus; zero
+	// values mean the Default* constants. Ignored unless Cosim is set
+	// (and excluded from Options.Key then, so they cannot split caches).
+	CosimSeed    uint64
+	CosimVectors int
+	CosimCycles  int
+}
+
+// cosimParams lowers the option fields onto the cosim engine's
+// parameters, defaults applied — the one normalization Options.Key and
+// the cosim stage both use.
+func (o Options) cosimParams() CosimParams {
+	return CosimParams{Seed: o.CosimSeed, Vectors: o.CosimVectors, Cycles: o.CosimCycles}.withDefaults()
 }
 
 // StageInfo is one stage of a compilation's timing trace.
@@ -162,6 +190,12 @@ type Result struct {
 	Synth *core.Result
 	// Cost is the design's gate-equivalent breakdown.
 	Cost cost.Breakdown
+	// Verilog is the datapath as structural Verilog; empty unless
+	// Options.EmitVerilog selected the emit stage.
+	Verilog string
+	// Cosim is the behavioral-vs-RTL equivalence verdict; nil unless
+	// Options.Cosim selected the cosim stage.
+	Cosim *CosimReport
 	// Trace is the per-stage timing record of this compilation.
 	Trace Trace
 }
@@ -200,59 +234,9 @@ func Compile(ctx context.Context, in Input, opt Options) (*Result, error) {
 	res.AST, res.VT = ast, trace
 	res.Trace.Stages = stages
 
-	if err := ctx.Err(); err != nil {
+	if err := runBack(ctx, in, opt, res); err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
-	which := opt.Allocator
-	if which == "" {
-		which = AllocDAA
-	}
-	switch which {
-	case AllocDAA:
-		synth, err := core.SynthesizeContext(ctx, trace, opt.Core)
-		if err != nil {
-			return nil, Diagnose(StageAllocate, in, err)
-		}
-		res.Synth, res.Design = synth, synth.Design
-	case AllocLeftEdge:
-		d, err := alloc.LeftEdge(trace, opt.Alloc)
-		if err != nil {
-			return nil, Diagnose(StageAllocate, in, err)
-		}
-		res.Design = d
-	case AllocNaive:
-		d, err := alloc.Naive(trace, opt.Alloc)
-		if err != nil {
-			return nil, Diagnose(StageAllocate, in, err)
-		}
-		res.Design = d
-	default:
-		return nil, fmt.Errorf("flow: unknown allocator %q (want %s, %s, or %s)",
-			which, AllocDAA, AllocLeftEdge, AllocNaive)
-	}
-	c := res.Design.Counts()
-	res.Trace.add(StageAllocate, time.Since(t0), false,
-		fmt.Sprintf("%s: %d regs, %d units, %d muxes, %d links, %d states",
-			which, c.Registers, c.Units, c.Muxes, c.Links, c.States))
-
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	t0 = time.Now()
-	if err := res.Design.Validate(); err != nil {
-		return nil, Diagnose(StageValidate, in, err)
-	}
-	res.Trace.add(StageValidate, time.Since(t0), false, "")
-
-	t0 = time.Now()
-	model := cost.Default()
-	if opt.Model != nil {
-		model = *opt.Model
-	}
-	res.Cost = model.Design(res.Design)
-	res.Trace.add(StageCost, time.Since(t0), false,
-		fmt.Sprintf("%.0f gate equivalents", res.Cost.Datapath))
 	res.Trace.Total = time.Since(start)
 	return res, nil
 }

@@ -27,7 +27,8 @@ func (in Input) ContentHash() [sha256.Size]byte {
 // Key canonicalizes the options that determine a compilation's result into
 // a stable string: equal option sets always produce equal keys, and
 // distinct option sets (different allocator, ablations, matcher mode,
-// scheduler limits, or cost model) never share one. Defaults are
+// scheduler limits, cost model, or emit/cosim stage selection) never
+// share one. Defaults are
 // normalized — the zero Options and an explicit {Allocator: "daa"} key
 // identically — so result caches keyed by (Input.ContentHash, Options.Key)
 // hit across equivalent spellings.
@@ -58,6 +59,15 @@ func (o Options) Key() string {
 		fmt.Fprintf(&b, "reg=%g,mem=%g,muxway=%g,link=%g,const=%g,port=%g,state=%g,fnsel=%g,fn=",
 			m.RegBit, m.MemBit, m.MuxWayBit, m.LinkBit, m.ConstBit, m.PortBit, m.StateCost, m.FnSelBit)
 		writeKindMapF(&b, m.FnBit)
+	}
+	fmt.Fprintf(&b, ";emit=%t;cosim=%t", o.EmitVerilog, o.Cosim)
+	if o.Cosim {
+		// Stimulus parameters shape the verdict, so they join the key —
+		// but only while the stage is on: with cosim off a stray seed must
+		// not split caches, and defaults are normalized like everything
+		// else ({Cosim: true} and an explicit seed-1/4x4 key identically).
+		p := o.cosimParams()
+		fmt.Fprintf(&b, ";cosim-stim=%d/%dx%d", p.Seed, p.Vectors, p.Cycles)
 	}
 	if !o.Cacheable() {
 		// Uncacheable options still get distinct keys for logging, but two

@@ -42,6 +42,12 @@ func TestOptionsKeyDistinct(t *testing.T) {
 		"model-regbit":     {Model: &tweakedModel},
 		"model-fnbit":      {Model: &fnModel},
 		"model-fnbit-swap": {Model: &fnModel2},
+		"emit":             {EmitVerilog: true},
+		"cosim":            {Cosim: true},
+		"emit+cosim":       {EmitVerilog: true, Cosim: true},
+		"cosim-seed":       {Cosim: true, CosimSeed: 2},
+		"cosim-vectors":    {Cosim: true, CosimVectors: 8},
+		"cosim-cycles":     {Cosim: true, CosimCycles: 2},
 	}
 	seen := map[string]string{}
 	for name, o := range sets {
@@ -71,6 +77,18 @@ func TestOptionsKeyNormalizesDefaults(t *testing.T) {
 	a := flow.Options{Core: core.Options{Limits: sched.Limits{MemPorts: 1}}}
 	if a.Key() != base.Key() {
 		t.Errorf("MemPorts 0 vs 1 key differently:\n  %q\n  %q", a.Key(), base.Key())
+	}
+	// Cosim stimulus parameters only count while the stage is on: a stray
+	// seed with Cosim off must not split caches…
+	if got := (flow.Options{CosimSeed: 7, CosimVectors: 9}).Key(); got != base.Key() {
+		t.Errorf("cosim parameters leaked into the key with the stage off:\n  %q\n  %q", got, base.Key())
+	}
+	// …and with it on, explicit defaults key like the zero values.
+	on := flow.Options{Cosim: true}
+	explicit := flow.Options{Cosim: true, CosimSeed: flow.DefaultCosimSeed,
+		CosimVectors: flow.DefaultCosimVectors, CosimCycles: flow.DefaultCosimCycles}
+	if on.Key() != explicit.Key() {
+		t.Errorf("explicit cosim defaults key differently:\n  %q\n  %q", on.Key(), explicit.Key())
 	}
 }
 

@@ -1,0 +1,73 @@
+package rtl_test
+
+// Golden-file coverage for rtl.WriteVerilog: the DAA design of every
+// embedded benchmark renders byte-identically to the checked-in .v file
+// under testdata/golden. Regenerate after an intentional emitter or
+// rule-base change with:
+//
+//	go test ./internal/rtl -run TestVerilogGolden -update
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden Verilog files")
+
+func TestVerilogGoldenAllBenchmarks(t *testing.T) {
+	for _, name := range bench.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tr, err := bench.Load(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Synthesize(tr, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			if err := res.Design.WriteVerilog(&sb, res.Design.Name); err != nil {
+				t.Fatal(err)
+			}
+			got := sb.String()
+
+			golden := filepath.Join("testdata", "golden", name+".v")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if got != string(want) {
+				t.Fatalf("Verilog for %s drifted from %s (regenerate with -update if intended):\n%s",
+					name, golden, firstDiff(string(want), got))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first differing line of two texts.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  golden: %s\n  got:    %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: golden %d lines, got %d lines", len(wl), len(gl))
+}

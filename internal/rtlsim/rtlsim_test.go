@@ -1,4 +1,4 @@
-package rtlsim
+package rtlsim_test
 
 import (
 	"fmt"
@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/isps"
 	"repro/internal/rtl"
+	"repro/internal/rtlsim"
 	"repro/internal/sim"
 	"repro/internal/vt"
 )
@@ -71,7 +72,7 @@ func cosim(t *testing.T, benchName string, inputs map[string]uint64, memInit map
 	}
 
 	for alloca, d := range designsFor(t, tr) {
-		m, err := New(d)
+		m, err := rtlsim.New(d)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -92,7 +93,7 @@ func cosim(t *testing.T, benchName string, inputs map[string]uint64, memInit map
 	}
 }
 
-func compareCarriers(t *testing.T, alloca string, tr *vt.Program, ref *sim.Machine, m *Machine, memInit map[int]uint64) {
+func compareCarriers(t *testing.T, alloca string, tr *vt.Program, ref *sim.Machine, m *rtlsim.Machine, memInit map[int]uint64) {
 	t.Helper()
 	for _, c := range tr.Carriers {
 		switch c.Kind {
@@ -202,7 +203,7 @@ func TestCosimMCS6502Program(t *testing.T) {
 		t.Fatal(err)
 	}
 	for alloca, d := range designsFor(t, tr) {
-		m, err := New(d)
+		m, err := rtlsim.New(d)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -247,7 +248,7 @@ func TestMachineErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := New(d)
+	m, err := rtlsim.New(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +261,7 @@ func TestMachineErrors(t *testing.T) {
 	if err := m.SetMem("X", 0, 1); err == nil {
 		t.Error("SetMem of a register should fail")
 	}
-	if _, err := New(rtl.NewDesign("empty", nil)); err == nil {
+	if _, err := rtlsim.New(rtl.NewDesign("empty", nil)); err == nil {
 		t.Error("New without a trace should fail")
 	}
 }
@@ -283,7 +284,7 @@ processor P {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := New(d)
+	m, err := rtlsim.New(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,7 +345,7 @@ func TestCosimRandomProgramsProperty(t *testing.T) {
 			return false
 		}
 		for _, d := range []*rtl.Design{res.Design, le} {
-			m, err := New(d)
+			m, err := rtlsim.New(d)
 			if err != nil {
 				return false
 			}
@@ -406,7 +407,7 @@ func TestCosimIBM370Program(t *testing.T) {
 		t.Fatal(err)
 	}
 	for alloca, d := range designsFor(t, tr) {
-		m, err := New(d)
+		m, err := rtlsim.New(d)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -480,7 +481,7 @@ func TestCosimRandomInputsProperty(t *testing.T) {
 			}
 			f := func(vals [2]uint16) bool {
 				ref := sim.New(prog)
-				dut, err := New(res.Design)
+				dut, err := rtlsim.New(res.Design)
 				if err != nil {
 					return false
 				}

@@ -78,6 +78,14 @@ type RequestOptions struct {
 	// provenance index; the response carries a provenance summary and the
 	// design becomes queryable through GET /v1/explain. DAA only.
 	Provenance bool `json:"provenance,omitempty"`
+	// Verify runs the cosim stage — seeded stimulus through the behavioral
+	// interpreter and the register-transfer simulator — and the response
+	// carries the equivalence verdict. A mismatch is a verdict, not an
+	// error: the response is still 200.
+	Verify bool `json:"verify,omitempty"`
+	// CosimSeed tunes the verify stimulus (0 = the flow default). Ignored
+	// unless Verify is set.
+	CosimSeed uint64 `json:"cosimSeed,omitempty"`
 }
 
 // flowOptions lowers the wire options onto the pipeline's option set.
@@ -102,6 +110,8 @@ func (o RequestOptions) flowOptions() (flow.Options, error) {
 			ExhaustiveMatch:   o.Exhaustive,
 			Journal:           o.Provenance,
 		},
+		Cosim:     o.Verify,
+		CosimSeed: o.CosimSeed,
 	}
 	opt.Alloc.Limits = lim
 	return opt, nil
@@ -138,6 +148,96 @@ type SynthesizeResponse struct {
 	// Provenance summarizes the effect journal when the request asked for
 	// it; Key addresses the design in GET /v1/explain.
 	Provenance *ProvenanceSummary `json:"provenance,omitempty"`
+	// Equivalence is the cosim verdict when the request set options.verify.
+	Equivalence *Equivalence `json:"equivalence,omitempty"`
+}
+
+// Equivalence is the behavioral-vs-RTL cosimulation verdict on the wire,
+// mirroring flow.CosimReport. Deterministic for a given (source, options):
+// it participates in the cached response bytes.
+type Equivalence struct {
+	Equivalent bool   `json:"equivalent"`
+	Seed       uint64 `json:"seed"`
+	Vectors    int    `json:"vectors"`
+	Cycles     int    `json:"cycles"`
+	Samples    int    `json:"samples"`
+	Hung       int    `json:"hung,omitempty"`
+	// Summary is the one-line human verdict, exactly flow.CosimReport.Summary.
+	Summary  string               `json:"summary"`
+	Mismatch *EquivalenceMismatch `json:"mismatch,omitempty"`
+}
+
+// EquivalenceMismatch is the counterexample behind a failed verdict.
+type EquivalenceMismatch struct {
+	Vector     int                `json:"vector"`
+	Cycle      int                `json:"cycle"`
+	Carrier    string             `json:"carrier,omitempty"`
+	Addr       int                `json:"addr"` // -1 for non-memory carriers
+	Behavioral uint64             `json:"behavioral"`
+	Design     uint64             `json:"design"`
+	Detail     string             `json:"detail,omitempty"`
+	Inputs     []EquivalenceInput `json:"inputs,omitempty"`
+}
+
+// EquivalenceInput is one input-port value of a counterexample vector.
+type EquivalenceInput struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// newEquivalence lowers a cosim report onto the wire shape.
+func newEquivalence(rep *flow.CosimReport) *Equivalence {
+	if rep == nil {
+		return nil
+	}
+	out := &Equivalence{
+		Equivalent: rep.Equivalent,
+		Seed:       rep.Seed,
+		Vectors:    rep.Vectors,
+		Cycles:     rep.Cycles,
+		Samples:    rep.Samples,
+		Hung:       rep.Hung,
+		Summary:    rep.Summary(),
+	}
+	if m := rep.Mismatch; m != nil {
+		wm := &EquivalenceMismatch{
+			Vector: m.Vector, Cycle: m.Cycle, Carrier: m.Carrier, Addr: m.Addr,
+			Behavioral: m.Behavioral, Design: m.Design, Detail: m.Detail,
+		}
+		for _, in := range m.Inputs {
+			wm.Inputs = append(wm.Inputs, EquivalenceInput{Name: in.Name, Value: in.Value})
+		}
+		out.Mismatch = wm
+	}
+	return out
+}
+
+// CosimReport rebuilds the flow-layer report from the wire verdict, so
+// remote clients (daa -remote -verify) render the same verdict block as
+// local runs.
+func (e *Equivalence) CosimReport() *flow.CosimReport {
+	if e == nil {
+		return nil
+	}
+	rep := &flow.CosimReport{
+		Equivalent: e.Equivalent,
+		Seed:       e.Seed,
+		Vectors:    e.Vectors,
+		Cycles:     e.Cycles,
+		Samples:    e.Samples,
+		Hung:       e.Hung,
+	}
+	if m := e.Mismatch; m != nil {
+		fm := &flow.CosimMismatch{
+			Vector: m.Vector, Cycle: m.Cycle, Carrier: m.Carrier, Addr: m.Addr,
+			Behavioral: m.Behavioral, Design: m.Design, Detail: m.Detail,
+		}
+		for _, in := range m.Inputs {
+			fm.Inputs = append(fm.Inputs, flow.CosimInput{Name: in.Name, Value: in.Value})
+		}
+		rep.Mismatch = fm
+	}
+	return rep
 }
 
 // ProvenanceSummary is the journal's wire summary: the explain key plus

@@ -10,8 +10,8 @@ import (
 )
 
 // metrics is the server's counter set. Everything is lock-free atomics
-// except the per-stage wall-time map, which is tiny (six stages) and
-// touched once per completed compilation.
+// except the per-stage wall-time map, which is tiny (eight stages at most)
+// and touched once per completed compilation.
 type metrics struct {
 	synthesize atomic.Int64 // POST /v1/synthesize requests
 	batch      atomic.Int64 // POST /v1/batch requests
@@ -37,6 +37,11 @@ type metrics struct {
 	joinTests     atomic.Int64
 	tokenAsserts  atomic.Int64
 	tokenRetracts atomic.Int64
+
+	cosimRuns       atomic.Int64 // completed syntheses that carried a cosim verdict
+	cosimMismatches atomic.Int64 // verdicts that were not equivalent
+	cosimHung       atomic.Int64 // stimulus vectors both sides failed to finish
+	cosimSamples    atomic.Int64 // state samples compared across verdicts
 
 	explainReq     atomic.Int64 // GET /v1/explain requests
 	journaledRuns  atomic.Int64 // completed syntheses that carried a journal
@@ -68,6 +73,14 @@ func (m *metrics) observeResult(res *flow.Result) {
 			m.journalEffects.Add(int64(effects))
 		}
 	}
+	if rep := res.Cosim; rep != nil {
+		m.cosimRuns.Add(1)
+		if !rep.Equivalent {
+			m.cosimMismatches.Add(1)
+		}
+		m.cosimHung.Add(int64(rep.Hung))
+		m.cosimSamples.Add(int64(rep.Samples))
+	}
 	m.stageMu.Lock()
 	if m.stageNS == nil {
 		m.stageNS = map[string]int64{}
@@ -94,6 +107,16 @@ type MetricsResponse struct {
 	StagesMS     map[string]float64 `json:"stagesMs"`
 	Engine       EngineRollup       `json:"engine"`
 	Journal      JournalRollup      `json:"journal"`
+	Cosim        CosimRollup        `json:"cosim"`
+}
+
+// CosimRollup aggregates cosimulation activity: how many completed
+// syntheses carried an equivalence verdict and what those verdicts found.
+type CosimRollup struct {
+	Runs       int64 `json:"runs"`
+	Mismatches int64 `json:"mismatches"`
+	Hung       int64 `json:"hung"`
+	Samples    int64 `json:"samples"`
 }
 
 // JournalRollup aggregates effect-journal activity: how many completed
@@ -204,6 +227,12 @@ func (s *Server) Metrics() MetricsResponse {
 			JournaledRuns:   m.journaledRuns.Load(),
 			Firings:         m.journalFirings.Load(),
 			Effects:         m.journalEffects.Load(),
+		},
+		Cosim: CosimRollup{
+			Runs:       m.cosimRuns.Load(),
+			Mismatches: m.cosimMismatches.Load(),
+			Hung:       m.cosimHung.Load(),
+			Samples:    m.cosimSamples.Load(),
 		},
 	}
 }

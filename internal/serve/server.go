@@ -433,6 +433,9 @@ func (s *Server) runOne(ctx context.Context, req SynthesizeRequest, admit bool) 
 		}}
 	}
 	opt.Core.ParallelMatch = s.cfg.ParallelMatch
+	// Verilog is an emit-stage product now: selecting the artifact selects
+	// the stage, before the cache key is computed (opt.Key covers it).
+	opt.EmitVerilog = req.Artifacts.Verilog
 
 	// Cache lookup happens before admission: a repeat submission is served
 	// in O(lookup) without consuming queue capacity or a worker token.
@@ -477,13 +480,7 @@ func (s *Server) runOne(ctx context.Context, req SynthesizeRequest, admit bool) 
 	if req.Artifacts.Verilog || req.Artifacts.ControlTable || req.Artifacts.Dot {
 		art := &Artifacts{}
 		if req.Artifacts.Verilog {
-			var sb strings.Builder
-			if err := res.Design.WriteVerilog(&sb, res.Design.Name); err != nil {
-				return outcome{status: http.StatusInternalServerError, err: &ErrorResponse{
-					Error: err.Error(), Kind: KindInternal, RequestID: id,
-				}}
-			}
-			art.Verilog = sb.String()
+			art.Verilog = res.Verilog // rendered by the pipeline's emit stage
 		}
 		if req.Artifacts.ControlTable {
 			var sb strings.Builder
@@ -505,6 +502,7 @@ func (s *Server) runOne(ctx context.Context, req SynthesizeRequest, admit bool) 
 		}
 		resp.Artifacts = art
 	}
+	resp.Equivalence = newEquivalence(res.Cosim)
 	if req.Timings {
 		if res.Synth != nil {
 			resp.Stats = newSynthStats(res.Synth.Stats)

@@ -1,0 +1,111 @@
+package serve
+
+// End-to-end tests of the daemon's cosimulation surface: options.verify
+// returns a deterministic equivalence verdict in the JSON body, the
+// Verilog artifact comes from the pipeline's emit stage, verify requests
+// cache separately from plain ones, and /v1/metrics rolls the verdicts up.
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"repro/internal/flow"
+)
+
+func TestSynthesizeVerifyVerdict(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := benchRequest(t, "gcd")
+	req.Options.Verify = true
+	req.Artifacts.Verilog = true
+
+	resp, body := postJSON(t, ts.URL+"/v1/synthesize", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	out := decodeSynth(t, body)
+	eq := out.Equivalence
+	if eq == nil {
+		t.Fatal("verify response carries no equivalence verdict")
+	}
+	if !eq.Equivalent {
+		t.Fatalf("gcd not equivalent: %s", eq.Summary)
+	}
+	if eq.Seed != flow.DefaultCosimSeed || eq.Vectors != flow.DefaultCosimVectors ||
+		eq.Cycles != flow.DefaultCosimCycles {
+		t.Errorf("defaults not echoed: %+v", eq)
+	}
+	if eq.Samples == 0 {
+		t.Error("verdict with zero samples")
+	}
+	if eq.Summary == "" || eq.Mismatch != nil {
+		t.Errorf("verdict malformed: %+v", eq)
+	}
+	if out.Artifacts == nil || out.Artifacts.Verilog == "" {
+		t.Error("verify request with artifacts.verilog returned no Verilog")
+	}
+
+	// Verify responses are byte-deterministic and cacheable like any other.
+	resp2, body2 := postJSON(t, ts.URL+"/v1/synthesize", req)
+	if got := resp2.Header.Get("X-DAAD-Cache"); got != "hit" {
+		t.Errorf("repeat verify request cache header %q, want hit", got)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("verify cache hit differs from the miss that populated it")
+	}
+}
+
+func TestVerifyCachesSeparately(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	plain := benchRequest(t, "gcd")
+	resp, body := postJSON(t, ts.URL+"/v1/synthesize", plain)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if decodeSynth(t, body).Equivalence != nil {
+		t.Error("plain response carries an equivalence verdict")
+	}
+
+	// Same source with verify must miss: the option set keys differently.
+	verify := plain
+	verify.Options.Verify = true
+	resp2, body2 := postJSON(t, ts.URL+"/v1/synthesize", verify)
+	if got := resp2.Header.Get("X-DAAD-Cache"); got != "miss" {
+		t.Errorf("verify after plain: cache header %q, want miss", got)
+	}
+	if decodeSynth(t, body2).Equivalence == nil {
+		t.Error("verify response carries no verdict")
+	}
+
+	// A custom seed keys differently again and is echoed back.
+	seeded := verify
+	seeded.Options.CosimSeed = 7
+	resp3, body3 := postJSON(t, ts.URL+"/v1/synthesize", seeded)
+	if got := resp3.Header.Get("X-DAAD-Cache"); got != "miss" {
+		t.Errorf("seeded verify: cache header %q, want miss", got)
+	}
+	if eq := decodeSynth(t, body3).Equivalence; eq == nil || eq.Seed != 7 {
+		t.Errorf("seeded verify verdict %+v, want seed 7", eq)
+	}
+}
+
+func TestMetricsCosimRollup(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	for _, name := range []string{"gcd", "counter"} {
+		req := benchRequest(t, name)
+		req.Options.Verify = true
+		if resp, body := postJSON(t, ts.URL+"/v1/synthesize", req); resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", name, resp.StatusCode, body)
+		}
+	}
+	m := s.Metrics().Cosim
+	if m.Runs != 2 {
+		t.Errorf("cosim runs %d, want 2", m.Runs)
+	}
+	if m.Mismatches != 0 {
+		t.Errorf("cosim mismatches %d, want 0", m.Mismatches)
+	}
+	if m.Samples == 0 {
+		t.Error("cosim samples not rolled up")
+	}
+}

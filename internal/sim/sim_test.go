@@ -1,4 +1,4 @@
-package sim
+package sim_test
 
 import (
 	"strings"
@@ -7,18 +7,19 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/isps"
+	"repro/internal/sim"
 )
 
-func machine(t *testing.T, src string) *Machine {
+func machine(t *testing.T, src string) *sim.Machine {
 	t.Helper()
 	prog, err := isps.Parse("t", src)
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	return New(prog)
+	return sim.New(prog)
 }
 
-func machineFor(t *testing.T, benchName string) *Machine {
+func machineFor(t *testing.T, benchName string) *sim.Machine {
 	t.Helper()
 	src, err := bench.Source(benchName)
 	if err != nil {
@@ -28,17 +29,17 @@ func machineFor(t *testing.T, benchName string) *Machine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(prog)
+	return sim.New(prog)
 }
 
-func set(t *testing.T, m *Machine, name string, v uint64) {
+func set(t *testing.T, m *sim.Machine, name string, v uint64) {
 	t.Helper()
 	if err := m.Set(name, v); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func get(t *testing.T, m *Machine, name string) uint64 {
+func get(t *testing.T, m *sim.Machine, name string) uint64 {
 	t.Helper()
 	v, err := m.Get(name)
 	if err != nil {
@@ -203,7 +204,7 @@ func TestGCDProperty(t *testing.T) {
 		if x == 0 || y == 0 {
 			return true // subtraction GCD needs positive inputs
 		}
-		m := New(prog)
+		m := sim.New(prog)
 		m.Set("XIN", uint64(x))
 		m.Set("YIN", uint64(y))
 		if err := m.Run(); err != nil {
@@ -225,7 +226,7 @@ func TestMult8Property(t *testing.T) {
 		t.Fatal(err)
 	}
 	f := func(a, b uint8) bool {
-		m := New(prog)
+		m := sim.New(prog)
 		m.Set("AIN", uint64(a))
 		m.Set("BIN", uint64(b))
 		if err := m.Run(); err != nil {
@@ -247,7 +248,7 @@ func TestSqrtProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 	f := func(n uint16) bool {
-		m := New(prog)
+		m := sim.New(prog)
 		m.Set("NIN", uint64(n))
 		if err := m.Run(); err != nil {
 			return false
@@ -377,7 +378,7 @@ func TestMark1SubtractProgram(t *testing.T) {
 // run6502 loads a machine-code image at 0x0200, points the reset vector at
 // it, applies reset for one cycle, and executes the given number of
 // instruction cycles.
-func run6502(t *testing.T, program []uint64, cycles int) *Machine {
+func run6502(t *testing.T, program []uint64, cycles int) *sim.Machine {
 	t.Helper()
 	m := machineFor(t, "mcs6502")
 	if err := m.Load("M", 0x0200, program); err != nil {
@@ -576,7 +577,7 @@ func TestDeterministicRuns(t *testing.T) {
 
 // run370 loads a machine-code image and executes the given number of
 // instruction cycles starting at IA=start.
-func run370(t *testing.T, image map[int]uint64, start uint64, cycles int) *Machine {
+func run370(t *testing.T, image map[int]uint64, start uint64, cycles int) *sim.Machine {
 	t.Helper()
 	m := machineFor(t, "ibm370")
 	for addr, v := range image {
