@@ -281,7 +281,7 @@ func BenchmarkProductionEngine(b *testing.B) {
 // the pipeline's emit and cosim stages, asserting equivalence as it runs.
 func BenchmarkE9Cosim(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exp.E9()
+		rows, err := exp.E9(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -302,7 +302,7 @@ func BenchmarkE9Cosim(b *testing.B) {
 // rule base with trace refinement and global improvement removed.
 func BenchmarkE7Ablation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exp.E7()
+		rows, err := exp.E7(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -21,6 +21,7 @@
 //	daa -bench gcd -stage-timing        print per-stage pipeline wall time
 //	daa -bench gcd -explain "reg X"     why does this component exist?
 //	daa -bench gcd -journal run.jnl     record the effect journal to a file
+//	daa -lint-rules                     statically lint the embedded rule base, exit 2 on findings
 //
 // Input problems (unparsable or ill-typed ISPS) are reported with
 // file:line:col positions and a caret under the offending column, and exit
@@ -39,6 +40,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/flow"
+	"repro/internal/isps"
 	"repro/internal/serve"
 )
 
@@ -66,6 +68,7 @@ type options struct {
 	journal     string
 	remote      string
 	deadline    time.Duration
+	lintRules   bool
 }
 
 func main() {
@@ -90,6 +93,7 @@ func main() {
 	flag.BoolVar(&o.stageTiming, "stage-timing", false, "print wall time per pipeline stage")
 	flag.StringVar(&o.explain, "explain", "", "explain components whose label contains this selector (\"all\" for every component); prints their rule-firing provenance instead of the report")
 	flag.StringVar(&o.journal, "journal", "", "write the effect journal of the run to this file as text")
+	flag.BoolVar(&o.lintRules, "lint-rules", false, "statically lint the embedded knowledge base against the working-memory schemas and exit (findings exit 2)")
 	flag.StringVar(&o.remote, "remote", "", "synthesize via a daad daemon at this base URL (e.g. http://localhost:8547)")
 	flag.DurationVar(&o.deadline, "deadline", 0, "per-request synthesis deadline (remote mode; 0 = server default)")
 	flag.Parse()
@@ -105,6 +109,9 @@ func run(w io.Writer, o options) error {
 			fmt.Fprintln(w, n)
 		}
 		return nil
+	}
+	if o.lintRules {
+		return runLintRules(w)
 	}
 	in, err := input(o.inFile, o.benchName)
 	if err != nil {
@@ -206,6 +213,32 @@ func run(w io.Writer, o options) error {
 		fmt.Fprint(w, sb.String())
 	}
 	return cosimVerdict(w, res.Cosim, false)
+}
+
+// runLintRules statically lints the embedded knowledge base (every phase's
+// rules against that phase's working-memory schema) and reports findings
+// as positioned diagnostics: exit 0 and a one-line summary when clean,
+// exit 2 with one diagnostic per finding otherwise. CI runs this under
+// -race next to the analyzer suite.
+func runLintRules(w io.Writer) error {
+	findings := core.LintKnowledgeBase()
+	if len(findings) == 0 {
+		total := 0
+		for _, rules := range core.KnowledgeBase() {
+			total += len(rules)
+		}
+		fmt.Fprintf(w, "rule base clean: %d rules across %d phases, 0 findings\n", total, len(core.PhaseOrder))
+		return nil
+	}
+	var dl flow.DiagnosticList
+	for _, f := range findings {
+		dl = append(dl, &flow.Diagnostic{
+			Stage: "lint-rules",
+			Pos:   isps.Pos{File: f.Phase},
+			Msg:   f.Finding.String(),
+		})
+	}
+	return dl
 }
 
 // cosimVerdict prints the equivalence block of a -verify run (suppressed

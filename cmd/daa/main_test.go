@@ -152,3 +152,13 @@ func TestBadSourceGetsCaretDiagnostic(t *testing.T) {
 		t.Errorf("caret diagnostic missing position:\n%s", out)
 	}
 }
+
+func TestRunLintRulesClean(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, options{lintRules: true}); err != nil {
+		t.Fatalf("lint-rules on the embedded rule base: %v", err)
+	}
+	if !strings.Contains(sb.String(), "rule base clean: 48 rules across 7 phases") {
+		t.Errorf("unexpected lint-rules summary: %q", sb.String())
+	}
+}

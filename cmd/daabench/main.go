@@ -46,6 +46,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"io"
 	"os"
@@ -93,11 +94,12 @@ func main() {
 }
 
 func run(w io.Writer, only, benchName string, asJSON, verify bool, copt core.Options) error {
+	ctx := context.Background()
 	if asJSON {
 		if only != "" {
 			return flow.Usagef("-json runs the whole suite; drop -only")
 		}
-		return exp.WriteJSONOpts(w, copt, verify)
+		return exp.WriteJSONOpts(ctx, w, copt, verify)
 	}
 	if copt.LiteMatch || copt.ExhaustiveMatch {
 		return flow.Usagef("-lite/-exhaustive record matcher baselines; combine them with -json")
@@ -107,28 +109,28 @@ func run(w io.Writer, only, benchName string, asJSON, verify bool, copt core.Opt
 	}
 	switch only {
 	case "":
-		return exp.All(w)
+		return exp.All(ctx, w)
 	case "E1":
 		exp.RenderE1(w)
 		return nil
 	case "E2":
-		return exp.RenderE2(w, benchName)
+		return exp.RenderE2(ctx, w, benchName)
 	case "E3":
-		return exp.RenderE3(w, benchName)
+		return exp.RenderE3(ctx, w, benchName)
 	case "E4":
-		return exp.RenderE4(w, benchName)
+		return exp.RenderE4(ctx, w, benchName)
 	case "E5":
-		return exp.RenderE5(w)
+		return exp.RenderE5(ctx, w)
 	case "E6":
-		return exp.RenderE6(w)
+		return exp.RenderE6(ctx, w)
 	case "E7":
-		return exp.RenderE7(w)
+		return exp.RenderE7(ctx, w)
 	case "E8", "ENGINE":
-		return exp.RenderEngineMetrics(w, benchName)
+		return exp.RenderEngineMetrics(ctx, w, benchName)
 	case "E9", "COSIM":
-		return exp.RenderE9(w)
+		return exp.RenderE9(ctx, w)
 	case "STAGES":
-		return exp.RenderStageTiming(w, benchName)
+		return exp.RenderStageTiming(ctx, w, benchName)
 	default:
 		return flow.Usagef("unknown experiment %q (want E1..E9, or stages)", only)
 	}

@@ -13,7 +13,7 @@
 //	daad -queue 128 -cache 1024   deeper admission queue, bigger cache
 //
 // Endpoints (see internal/serve): POST /v1/synthesize, POST /v1/batch,
-// GET /v1/healthz, GET /v1/metrics.
+// POST /v1/lint, GET /v1/explain, GET /v1/healthz, GET /v1/metrics.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: new work is refused
 // with 503 while in-flight syntheses run to completion, bounded by

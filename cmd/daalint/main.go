@@ -1,0 +1,90 @@
+// Command daalint runs the repository's invariant analyzers — txonly,
+// detmap, ctxflow — over a set of Go packages and prints every finding in
+// file:line:col form. It is the multichecker CI runs as the lint gate:
+//
+//	go run ./cmd/daalint ./...
+//
+// Exit status is 0 when the tree is clean, 1 when any analyzer (or the
+// type checker) reports a finding, and 2 on usage or load errors.
+// Individual lines are suppressed with a `//daalint:allow <analyzer>
+// <reason>` comment on or directly above the offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("daalint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	list := fs.Bool("list", false, "describe the available analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: daalint [-list] [-only a,b] [packages]\n\n"+
+			"Runs the project invariant analyzers over the packages (default ./...).\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s\n", a.Name)
+			for _, line := range strings.Split(a.Doc, "\n") {
+				fmt.Printf("    %s\n", line)
+			}
+			fmt.Println()
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "daalint: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := analysis.NewLoader("")
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "daalint: %v\n", err)
+		return 2
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "daalint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "daalint: %d findings in %d packages\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestListExitsClean(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Fatalf("-list exited %d, want 0", code)
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	if code := run([]string{"-only", "nope"}); code != 2 {
+		t.Fatalf("-only nope exited %d, want 2", code)
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list")
+	}
+	// The cost package is tiny, dependency-light, and must stay clean —
+	// the CI gate runs the same analyzers over the whole tree.
+	if code := run([]string{"repro/internal/cost"}); code != 0 {
+		t.Fatalf("lint of internal/cost exited %d, want 0", code)
+	}
+}
+
+func TestFixturePackageIsFlagged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list")
+	}
+	// The analysistest fixtures live under testdata and are full of
+	// deliberate violations; loading one through the CLI must exit 1.
+	if code := run([]string{"-only", "ctxflow", "repro/internal/analysis/testdata/src/ctxflow"}); code != 1 {
+		t.Fatalf("lint of the ctxflow fixture exited %d, want 1", code)
+	}
+}

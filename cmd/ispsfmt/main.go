@@ -2,9 +2,10 @@
 // canonical form (gofmt for ISPS). With -check it exits nonzero when the
 // input is not already canonical.
 //
-// Parse and sema problems are reported with file:line:col positions and a
-// caret under the offending column; they, non-canonical -check results,
-// and lint findings exit 2. Usage mistakes exit 1.
+// Parse, sema, and -lint problems are reported with file:line:col positions
+// and a caret under the offending column; they and non-canonical -check
+// results exit 2. A clean -lint run prints "<name>: clean" and exits 0.
+// Usage mistakes exit 1.
 //
 // Usage:
 //
@@ -65,13 +66,12 @@ func run(w io.Writer, args []string, benchName string, check, lint bool) error {
 		return err
 	}
 	if lint {
-		ws := isps.Lint(prog)
-		for _, lw := range ws {
-			fmt.Fprintln(w, lw)
+		// Findings render like parse/sema diagnostics: file:line:col, the
+		// source line, and a caret under the offending column (exit 2).
+		if dl := flow.LintDiagnostics(in, isps.Lint(prog)); dl != nil {
+			return dl
 		}
-		if len(ws) > 0 {
-			return flow.Diagf("lint", in.Name, "%d lint warnings", len(ws))
-		}
+		fmt.Fprintf(w, "%s: clean\n", in.Name)
 		return nil
 	}
 	out := isps.Format(prog)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -52,9 +53,13 @@ func TestCheckCanonical(t *testing.T) {
 }
 
 func TestLintFlag(t *testing.T) {
-	// Clean benchmark: exit zero.
-	if err := run(io.Discard, nil, "gcd", false, true); err != nil {
+	// Clean benchmark: exit zero, a one-line summary.
+	var sb strings.Builder
+	if err := run(&sb, nil, "gcd", false, true); err != nil {
 		t.Fatalf("clean benchmark failed lint: %v", err)
+	}
+	if !strings.Contains(sb.String(), "gcd.isps: clean") {
+		t.Errorf("clean lint summary missing: %q", sb.String())
 	}
 	// Dirty file: lint findings are input diagnostics, exit 2.
 	dir := t.TempDir()
@@ -63,13 +68,77 @@ func TestLintFlag(t *testing.T) {
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	var sb strings.Builder
-	err := run(&sb, []string{path}, "", false, true)
+	err := run(io.Discard, []string{path}, "", false, true)
 	if flow.ExitCode(err) != flow.ExitDiagnostic {
 		t.Errorf("dirty description: exit %d (%v), want diagnostic", flow.ExitCode(err), err)
 	}
-	if sb.String() == "" {
-		t.Error("lint warnings not printed")
+}
+
+// TestLintAllBenchmarksClean pins the golden property that every embedded
+// benchmark passes the semantic linter.
+func TestLintAllBenchmarksClean(t *testing.T) {
+	for _, name := range bench.Names() {
+		var sb strings.Builder
+		if err := run(&sb, nil, name, false, true); err != nil {
+			t.Errorf("%s: lint failed: %v", name, err)
+			continue
+		}
+		if !strings.Contains(sb.String(), ": clean") {
+			t.Errorf("%s: missing clean summary: %q", name, sb.String())
+		}
+	}
+}
+
+// TestLintCaretRendering checks -lint findings render like parse/sema
+// diagnostics: file:line:col position, the offending source line, and a
+// caret under the column.
+func TestLintCaretRendering(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "warn.isps")
+	src := `processor P {
+    reg A<7:0>
+    reg B<3:0>
+    port out Y<7:0>
+    main m {
+        if A eql B { Y := A }
+        decode A<1:0> {
+            0: Y := 1  1: Y := 2  2: Y := 3  3: Y := 4
+            otherwise: nop
+        }
+    }
+}
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(io.Discard, []string{path}, "", false, true)
+	if flow.ExitCode(err) != flow.ExitDiagnostic {
+		t.Fatalf("exit %d (%v), want diagnostic", flow.ExitCode(err), err)
+	}
+	var dl flow.DiagnosticList
+	if !errors.As(err, &dl) {
+		t.Fatalf("lint error is %T, want DiagnosticList", err)
+	}
+	for _, d := range dl {
+		if d.Stage != flow.StageLint {
+			t.Errorf("diagnostic stage %q, want %q", d.Stage, flow.StageLint)
+		}
+		if d.Pos.Line <= 0 || d.Pos.Col <= 0 {
+			t.Errorf("diagnostic %v lacks a position", d)
+		}
+	}
+	var sb strings.Builder
+	flow.WriteError(&sb, "ispsfmt", err)
+	out := sb.String()
+	for _, want := range []string{
+		"warn.isps:6:14: width-mismatch: comparing 8-bit A with 4-bit B",
+		"warn.isps:7:9: unreachable-decode: otherwise arm is unreachable",
+		"if A eql B { Y := A }", // source lines echoed for the caret
+		"^",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered diagnostics missing %q:\n%s", want, out)
+		}
 	}
 }
 

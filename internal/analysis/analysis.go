@@ -1,0 +1,97 @@
+// Package analysis is a self-contained static-analysis layer for this
+// repository: a minimal reimplementation of the golang.org/x/tools
+// go/analysis vocabulary (Analyzer, Pass, Diagnostic) on top of the
+// standard library's go/ast and go/types, plus a package loader built on
+// `go list -export` so the whole thing runs offline with no module
+// dependencies.
+//
+// The analyzers encode project invariants the Go compiler cannot see:
+//
+//	txonly   rule right-hand sides mutate working memory and host designs
+//	         only through the prod.Tx transaction handle (the PR 4
+//	         effect-journal invariant)
+//	detmap   determinism-critical code must not iterate maps unsorted or
+//	         read wall-clock/global randomness (journal, replay, cache
+//	         keys, and render paths must be byte-deterministic)
+//	ctxflow  library packages thread context.Context into synthesis entry
+//	         points instead of minting context.Background()
+//
+// cmd/daalint is the multichecker driver that runs them over the tree;
+// the analysistest subpackage runs a single analyzer over a fixture
+// directory and checks reported diagnostics against `// want` comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// A diagnostic on any line can be suppressed with a trailing or preceding
+//
+//	//daalint:allow <analyzer> <reason>
+//
+// comment; the reason is mandatory by convention — the directive is the
+// documented escape hatch for sanctioned exceptions (e.g. metrics timing
+// inside the deterministic engine).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker: a name, what it enforces, and
+// the function that runs it over a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow-directives.
+	Name string
+	// Doc is the one-paragraph description shown by `daalint -list`.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Fset maps token positions of the syntax below to file/line/column.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax, one entry per Go file.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// PkgPath is the package's import path (Pkg.Path, kept separately so
+	// fixture packages can carry a synthetic path).
+	PkgPath string
+	// TypesInfo holds the type-checking results for Files.
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Report emits one finding.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf emits a finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position inside the pass's FileSet and a
+// message. The runner attaches the analyzer name.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a resolved diagnostic: position mapped through the FileSet
+// and tagged with the analyzer and package that produced it. This is the
+// structured shape cmd/daalint prints and tests assert on.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Package  string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}

@@ -1,0 +1,142 @@
+// Package analysistest runs one analyzer over a fixture package and
+// checks its diagnostics against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the repository's own
+// analysis framework.
+//
+// A fixture lives in testdata/src/<name>/ relative to the calling test's
+// package directory. Every line that should produce a diagnostic carries
+// a trailing comment of quoted regular expressions:
+//
+//	wm.Make("x", nil) // want `bypassing the effect journal`
+//
+// Each expectation must be matched by exactly one diagnostic reported on
+// that line, and every diagnostic must match an expectation; anything
+// unmatched on either side fails the test. Fixtures may import this
+// module's packages (repro/internal/prod, ...) — they type-check against
+// the real types, so the analyzers are proven against the actual API.
+package analysistest
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *analysis.Loader
+	loaderErr  error
+)
+
+// sharedLoader builds one module-rooted loader for all fixture runs in
+// the test binary; export-data lookups are cached across them.
+func sharedLoader() (*analysis.Loader, error) {
+	loaderOnce.Do(func() {
+		out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+		if err != nil {
+			loaderErr = fmt.Errorf("analysistest: locating module root: %v", err)
+			return
+		}
+		loader = analysis.NewLoader(strings.TrimSpace(string(out)))
+	})
+	return loader, loaderErr
+}
+
+// Run loads testdata/src/<fixture> and checks a's diagnostics against the
+// fixture's want-comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := l.LoadDir(dir, fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s does not type-check: %v", fixture, terr)
+	}
+	if t.Failed() {
+		return
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := parseWants(t, pkg)
+	matched := map[*want]bool{}
+	for _, f := range findings {
+		key := lineKey{filepath.Base(f.Pos.Filename), f.Pos.Line}
+		var hit *want
+		for _, w := range wants[key] {
+			if !matched[w] && w.re.MatchString(f.Message) {
+				hit = w
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", key.file, key.line, f.Message)
+			continue
+		}
+		matched[hit] = true
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !matched[w] {
+				t.Errorf("no diagnostic at %s:%d matching %q", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct{ re *regexp.Regexp }
+
+// wantRE pulls the quoted regexps out of a `// want "..." \`...\“ comment.
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// parseWants scans every fixture file for want-comments.
+func parseWants(t *testing.T, pkg *analysis.Package) map[lineKey][]*want {
+	t.Helper()
+	out := map[lineKey][]*want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := lineKey{filepath.Base(pos.Filename), pos.Line}
+				for _, q := range wantRE.FindAllString(text, -1) {
+					body := q[1 : len(q)-1]
+					if q[0] == '"' {
+						body = strings.ReplaceAll(body, `\"`, `"`)
+					}
+					re, err := regexp.Compile(body)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", key.file, key.line, q, err)
+					}
+					out[key] = append(out[key], &want{re})
+				}
+				if len(wantRE.FindAllString(text, -1)) == 0 {
+					t.Fatalf("%s:%d: want comment with no quoted patterns", key.file, key.line)
+				}
+			}
+		}
+	}
+	return out
+}

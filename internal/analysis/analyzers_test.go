@@ -1,0 +1,42 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// The fixture packages each prove their analyzer fires on every violation
+// shape it knows about and stays silent on compliant code (including the
+// //daalint:allow escape hatch).
+
+func TestTxonly(t *testing.T)  { analysistest.Run(t, analysis.Txonly, "txonly") }
+func TestDetmap(t *testing.T)  { analysistest.Run(t, analysis.Detmap, "detmap") }
+func TestCtxflow(t *testing.T) { analysistest.Run(t, analysis.Ctxflow, "ctxflow") }
+
+func TestAllSuite(t *testing.T) {
+	all := analysis.All()
+	if len(all) != 3 {
+		t.Fatalf("All() returned %d analyzers, want 3", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run function", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if first, _, _ := strings.Cut(a.Doc, "\n"); strings.HasSuffix(first, ".") {
+			t.Errorf("%s: doc summary line should not end with a period: %q", a.Name, first)
+		}
+	}
+	for _, want := range []string{"txonly", "detmap", "ctxflow"} {
+		if !seen[want] {
+			t.Errorf("All() missing analyzer %q", want)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Ctxflow enforces context threading: library packages must accept a
+// context.Context from their caller and pass it down to the synthesis
+// entry points (flow.Compile, core.SynthesizeContext) instead of minting
+// context.Background() or context.TODO(). A freshly minted context
+// severs cancellation: the daemon's per-request deadlines and client
+// disconnects stop propagating into the recognize-act loop. Binaries
+// (repro/cmd/...) and the runnable examples own their lifecycle and are
+// exempt; the documented compatibility wrappers carry an
+// allow-directive.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "library packages must thread context.Context instead of minting context.Background()\n\n" +
+		"Flags context.Background() and context.TODO() calls in library packages\n" +
+		"(everything outside repro/cmd and repro/examples). Compatibility wrappers\n" +
+		"that intentionally detach carry //daalint:allow ctxflow <reason>.",
+	Run: runCtxflow,
+}
+
+func runCtxflow(p *Pass) error {
+	if strings.HasPrefix(p.PkgPath, "repro/cmd/") || strings.HasPrefix(p.PkgPath, "repro/examples/") {
+		return nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+				return true
+			}
+			if name := obj.Name(); name == "Background" || name == "TODO" {
+				p.Reportf(call.Pos(),
+					"library code mints context.%s, severing cancellation; accept a context.Context parameter and thread it through", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// All returns the full analyzer suite in the order cmd/daalint runs it.
+func All() []*Analyzer {
+	return []*Analyzer{Txonly, Detmap, Ctxflow}
+}

@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, parsed, and type-checked package ready for
+// analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string // absolute paths, in go list order
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors collects type-checking problems. Analysis still runs on a
+	// partially-checked package (go vet does the same), but the driver
+	// reports them so a broken tree cannot masquerade as a clean one.
+	TypeErrors []error
+}
+
+// Loader resolves import paths to compiled export data via `go list
+// -export` and type-checks target packages from source. One Loader is
+// good for any number of Load/LoadDir calls; export lookups are cached.
+type Loader struct {
+	// Dir is the directory `go list` runs in (defaults to the current
+	// directory; tests point it at the module root).
+	Dir string
+
+	mu      sync.Mutex
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+	fset    *token.FileSet
+}
+
+// NewLoader returns a Loader rooted at dir ("" = current directory).
+func NewLoader(dir string) *Loader {
+	l := &Loader{Dir: dir, exports: map[string]string{}, fset: token.NewFileSet()}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookup)
+	return l
+}
+
+// listJSON is the subset of `go list -json` output the loader consumes.
+type listJSON struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` over patterns and returns the
+// decoded package stream.
+func (l *Loader) goList(patterns ...string) ([]*listJSON, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Dir,Name,GoFiles,Export,DepOnly,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listJSON
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listJSON
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// lookup feeds the gc importer: import path -> export data reader. Paths
+// missing from the primary `go list -deps` sweep (a fixture importing a
+// std package outside the module's dependency closure) are resolved with
+// a one-off `go list -export` call and cached.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	f, ok := l.exports[path]
+	l.mu.Unlock()
+	if !ok {
+		pkgs, err := l.goList(path)
+		if err != nil {
+			return nil, err
+		}
+		l.addExports(pkgs)
+		l.mu.Lock()
+		f, ok = l.exports[path]
+		l.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+	}
+	return os.Open(f)
+}
+
+func (l *Loader) addExports(pkgs []*listJSON) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, p := range pkgs {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+}
+
+// Load loads the packages matched by patterns (e.g. "./...") and
+// type-checks each from source. Dependencies are consumed as compiled
+// export data, so the cost is one parse+check per target package only.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	listed, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	l.addExports(listed)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Error != nil || len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		pkg, err := l.check(p.ImportPath, p.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// LoadDir loads a single directory of Go files as one package under a
+// synthetic import path — the analysistest fixture path. Imports resolve
+// against the loader's module (so fixtures may import repro/... packages).
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	sort.Strings(files)
+	// Prime the export map with the module's dependency closure once, so
+	// fixture imports of repro/... and common std packages hit the cache.
+	l.mu.Lock()
+	primed := len(l.exports) > 0
+	l.mu.Unlock()
+	if !primed {
+		if listed, err := l.goList("./..."); err == nil {
+			l.addExports(listed)
+		}
+	}
+	return l.check(importPath, dir, files)
+}
+
+// check parses and type-checks one package from source.
+func (l *Loader) check(importPath, dir string, filenames []string) (*Package, error) {
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		GoFiles:    filenames,
+		Fset:       l.fset,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		},
+	}
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %v", fn, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check returns the package even on errors; analysis runs best-effort
+	// over whatever was resolved, as the vet driver does.
+	tpkg, _ := conf.Check(importPath, l.fset, pkg.Files, pkg.Info)
+	pkg.Types = tpkg
+	return pkg, nil
+}

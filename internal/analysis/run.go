@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// allowPrefix is the suppression directive: `//daalint:allow <analyzer>
+// <reason>` silences that analyzer on the directive's line and the line
+// directly below it (so the directive can trail a statement or sit on its
+// own line above one).
+const allowPrefix = "//daalint:allow "
+
+// allowedLines maps line -> analyzer names suppressed on that line.
+func allowedLines(pkg *Package) map[string]map[int]map[string]bool {
+	out := map[string]map[int]map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				name, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				if name == "" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					out[pos.Filename] = byLine
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if byLine[line] == nil {
+						byLine[line] = map[string]bool{}
+					}
+					byLine[line][name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over the packages and returns the surviving
+// findings sorted by file, line, column, then analyzer name. Type-check
+// errors in a package are surfaced as findings of the pseudo-analyzer
+// "typecheck" so a broken tree fails loudly rather than silently passing.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		allowed := allowedLines(pkg)
+		for _, err := range pkg.TypeErrors {
+			out = append(out, Finding{Analyzer: "typecheck", Package: pkg.ImportPath, Message: err.Error()})
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				PkgPath:   pkg.ImportPath,
+				TypesInfo: pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if byLine := allowed[pos.Filename]; byLine != nil && byLine[pos.Line][a.Name] {
+					return
+				}
+				out = append(out, Finding{
+					Pos:      pos,
+					Analyzer: a.Name,
+					Package:  pkg.ImportPath,
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out, nil
+}

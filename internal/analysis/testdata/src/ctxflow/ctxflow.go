@@ -1,0 +1,28 @@
+// Fixture for the ctxflow analyzer: library code must accept and thread
+// a context.Context rather than minting its own.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+// mint severs cancellation by creating fresh root contexts.
+func mint() context.Context {
+	ctx := context.Background() // want `mints context\.Background, severing cancellation`
+	_ = context.TODO()          // want `mints context\.TODO, severing cancellation`
+	return ctx
+}
+
+// threaded derives everything from the caller's context.
+func threaded(ctx context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	return context.WithValue(ctx, struct{}{}, "v"), cancel
+}
+
+// compat is a documented compatibility wrapper: the detachment is
+// intentional and annotated.
+func compat() context.Context {
+	//daalint:allow ctxflow documented compatibility wrapper
+	return context.Background()
+}

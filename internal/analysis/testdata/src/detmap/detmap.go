@@ -1,0 +1,76 @@
+// Fixture for the detmap analyzer. Fixture packages sit outside the
+// repro module, so both checks (map ranging and clock/randomness) are in
+// scope for every file.
+package detmap
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// sumValues iterates a map with a body that does real work: the visit
+// order leaks into the accumulated output.
+func sumValues(m map[string]int) string {
+	s := ""
+	for k, v := range m { // want `iteration over map m has nondeterministic order`
+		if v > 0 {
+			s += k
+		}
+	}
+	return s
+}
+
+// countKeys ranges with no body statements at all.
+func countKeys(m map[string]bool) int {
+	n := 0
+	for range m { // want `iteration over map m has nondeterministic order`
+		n++
+	}
+	return n
+}
+
+// sortedKeys is the sanctioned collect-keys-then-sort idiom: the loop
+// body only appends, so order does not matter.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sliceRange: ranging over a slice is ordered and fine.
+func sliceRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// allowedRange carries the documented escape hatch.
+func allowedRange(m map[string]int) int {
+	max := 0
+	//daalint:allow detmap order-insensitive maximum
+	for _, v := range m {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// stamp reads the wall clock and global randomness.
+func stamp() (int64, int) {
+	t := time.Now()     // want `time\.Now in a determinism-critical path`
+	d := time.Since(t)  // want `time\.Since in a determinism-critical path`
+	n := rand.Intn(100) // want `math/rand in a determinism-critical path`
+	return int64(d), n
+}
+
+// pure uses time only for arithmetic on supplied values — no clock read.
+func pure(d time.Duration) time.Duration {
+	return d * time.Millisecond
+}

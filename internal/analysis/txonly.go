@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Import paths of the packages whose types anchor the invariants.
+const (
+	prodPath = "repro/internal/prod"
+	vtPath   = "repro/internal/vt"
+	rtlPath  = "repro/internal/rtl"
+)
+
+// Txonly enforces the PR 4 effect-journal invariant: a production-rule
+// right-hand side (any function taking a *prod.Tx) may mutate working
+// memory only through the Tx handle and host state (the value trace and
+// the growing rtl design) only through Tx.Do. Direct (*prod.WM) mutation
+// calls and direct field writes to vt/rtl types inside an action bypass
+// the journal, which silently breaks core.Replay, provenance, and
+// deterministic-replay fuzzing.
+var Txonly = &Analyzer{
+	Name: "txonly",
+	Doc: "rule actions must mutate working memory and host designs only through the prod.Tx handle\n\n" +
+		"Inside any function with a *prod.Tx parameter (a rule right-hand side), flags\n" +
+		"(*prod.WM).Make/Modify/Remove calls (use tx.Make/tx.Modify/tx.Remove), engine\n" +
+		"control calls (use tx.Halt), and direct field writes to repro/internal/vt or\n" +
+		"repro/internal/rtl types (route the mutation through tx.Do so the effect\n" +
+		"journal records it). The prod package itself — the handle's implementation —\n" +
+		"is exempt.",
+	Run: runTxonly,
+}
+
+// wmMutators are the working-memory methods an action must reach through
+// the Tx handle instead.
+var wmMutators = map[string]bool{"Make": true, "Modify": true, "Remove": true}
+
+// engineMutators are the engine methods an action must not call directly.
+var engineMutators = map[string]bool{"Halt": true, "AddRule": true, "Run": true}
+
+func runTxonly(p *Pass) error {
+	if p.PkgPath == prodPath {
+		return nil // the handle's own implementation
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ftype, body := funcParts(n)
+			if ftype == nil || body == nil || !hasParamType(p, ftype, prodPath, "Tx") {
+				return true
+			}
+			checkActionBody(p, body)
+			// The action body (nested closures included) is fully checked;
+			// don't descend again.
+			return false
+		})
+	}
+	return nil
+}
+
+// funcParts extracts the signature and body of a function declaration or
+// literal node.
+func funcParts(n ast.Node) (*ast.FuncType, *ast.BlockStmt) {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn.Type, fn.Body
+	case *ast.FuncLit:
+		return fn.Type, fn.Body
+	}
+	return nil, nil
+}
+
+// hasParamType reports whether the function signature has a parameter of
+// type *pkgPath.name.
+func hasParamType(p *Pass, ftype *ast.FuncType, pkgPath, name string) bool {
+	if ftype.Params == nil {
+		return false
+	}
+	for _, field := range ftype.Params.List {
+		if t := p.TypesInfo.TypeOf(field.Type); t != nil && isNamed(t, pkgPath, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkActionBody walks one rule action and reports journal-bypassing
+// mutations.
+func checkActionBody(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkActionCall(p, n)
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkHostWrite(p, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkHostWrite(p, n.X)
+		}
+		return true
+	})
+}
+
+// checkActionCall flags direct WM-mutation and engine-control method
+// calls inside an action.
+func checkActionCall(p *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection := p.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return
+	}
+	name := sel.Sel.Name
+	switch {
+	case isNamed(selection.Recv(), prodPath, "WM") && wmMutators[name]:
+		p.Reportf(call.Pos(),
+			"rule action calls (*prod.WM).%s, bypassing the effect journal; use the Tx handle (tx.%s)", name, name)
+	case isNamed(selection.Recv(), prodPath, "Engine") && engineMutators[name]:
+		p.Reportf(call.Pos(),
+			"rule action calls (*prod.Engine).%s directly; actions control the engine only through the Tx handle", name)
+	}
+}
+
+// checkHostWrite flags an assignment (or ++/--) whose target is a field
+// of a value-trace or rtl type: host state must change through Tx.Do.
+func checkHostWrite(p *Pass, lhs ast.Expr) {
+	// Unwrap parens, indexing, and derefs down to the selector being
+	// written: `(*op).Args[0] = x` writes through op.
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		default:
+			goto unwrapped
+		}
+	}
+unwrapped:
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection := p.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return
+	}
+	base := p.TypesInfo.TypeOf(sel.X)
+	if base == nil {
+		return
+	}
+	var pkg string
+	switch {
+	case isNamed(base, vtPath, ""):
+		pkg = "vt"
+	case isNamed(base, rtlPath, ""):
+		pkg = "rtl"
+	default:
+		return
+	}
+	p.Reportf(sel.Pos(),
+		"rule action writes %s field %s.%s directly, bypassing the effect journal; apply the mutation through tx.Do", pkg, exprString(sel.X), sel.Sel.Name)
+}
+
+// isNamed reports whether t (possibly behind pointers) is the named type
+// pkgPath.name; an empty name matches any type in the package.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return false
+	}
+	return name == "" || obj.Name() == name
+}
+
+// exprString renders the small receiver expressions used in messages.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return "(" + exprString(e.X) + ")"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	}
+	return "expr"
+}

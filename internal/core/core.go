@@ -128,6 +128,9 @@ type Result struct {
 // Synthesize runs the DAA on a value trace and returns the validated
 // register-transfer design.
 func Synthesize(trace *vt.Program, opt Options) (*Result, error) {
+	// Compatibility wrapper for tests and tools that own their lifecycle;
+	// library code threads a context through SynthesizeContext.
+	//daalint:allow ctxflow documented compatibility wrapper
 	return SynthesizeContext(context.Background(), trace, opt)
 }
 

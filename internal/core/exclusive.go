@@ -109,11 +109,13 @@ func (s *synth) regsCanMerge(r1, r2 *rtl.Register) bool {
 // states and never conflict.
 func (s *synth) unitsNeverCoBusy(u1, u2 *rtl.Unit) bool {
 	states := map[*rtl.State]bool{}
+	//daalint:allow detmap order-insensitive set build
 	for op, u := range s.d.OpUnit {
 		if u == u1 {
 			states[s.d.OpState[op]] = true
 		}
 	}
+	//daalint:allow detmap order-insensitive membership test
 	for op, u := range s.d.OpUnit {
 		if u == u2 && states[s.d.OpState[op]] {
 			return false

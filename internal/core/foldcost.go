@@ -19,6 +19,7 @@ var foldModel = cost.Default()
 // port of a unit, over every operator bound to it.
 func (s *synth) portSources(u *rtl.Unit) [2]map[rtl.Endpoint]bool {
 	out := [2]map[rtl.Endpoint]bool{{}, {}}
+	//daalint:allow detmap order-insensitive set build
 	for op, uu := range s.d.OpUnit {
 		if uu != u {
 			continue
@@ -51,6 +52,7 @@ func muxGates(srcs map[rtl.Endpoint]bool, width int) float64 {
 // unitGates prices a unit with the experiment cost model.
 func unitGates(width int, fns map[vt.OpKind]bool) float64 {
 	maxFn := 0.0
+	//daalint:allow detmap order-insensitive maximum
 	for fn := range fns {
 		w, ok := foldModel.FnBit[fn]
 		if !ok {
@@ -77,18 +79,22 @@ func (s *synth) foldSaves(u1, u2 *rtl.Unit) bool {
 		width = u2.Width
 	}
 	fns := make(map[vt.OpKind]bool, len(u1.Fns)+len(u2.Fns))
+	//daalint:allow detmap order-insensitive set union
 	for k := range u1.Fns {
 		fns[k] = true
 	}
+	//daalint:allow detmap order-insensitive set union
 	for k := range u2.Fns {
 		fns[k] = true
 	}
 	after := unitGates(width, fns)
 	for i := 0; i < 2; i++ {
 		union := make(map[rtl.Endpoint]bool, len(s1[i])+len(s2[i]))
+		//daalint:allow detmap order-insensitive set union
 		for e := range s1[i] {
 			union[e] = true
 		}
+		//daalint:allow detmap order-insensitive set union
 		for e := range s2[i] {
 			union[e] = true
 		}

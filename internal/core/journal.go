@@ -386,12 +386,14 @@ func (s *synth) applyEffect(name string, args []any) (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		//daalint:allow detmap order-insensitive set union
 		for k := range u2.Fns {
 			u1.Fns[k] = true
 		}
 		if u2.Width > u1.Width {
 			u1.Width = u2.Width
 		}
+		//daalint:allow detmap order-insensitive value rewrite
 		for op, u := range s.d.OpUnit {
 			if u == u2 {
 				s.d.OpUnit[op] = u1

@@ -125,7 +125,9 @@ func buildProvenance(d *rtl.Design, j *Journal, pt *provTrack) *Provenance {
 			}
 		}
 	}
-	// Components created inside appliers or the rewire pass.
+	// Components created inside appliers or the rewire pass. Each ref is a
+	// distinct key, so visit order cannot reorder any per-ref note list.
+	//daalint:allow detmap distinct keys, per-ref output unaffected
 	for ref, fr := range pt.created {
 		add(ref, fr, "created")
 	}

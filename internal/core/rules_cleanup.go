@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/prod"
 	"repro/internal/rtl"
+	"repro/internal/vt"
 )
 
 // Phase 6 — global improvement, the signature knowledge of the DAA. The
@@ -33,10 +34,19 @@ func (s *synth) seedCleanup(wm *prod.WM) {
 		wm.Make("hreg", prod.Attrs{"reg": r, "width": r.Width})
 	}
 	for _, u := range s.d.Units {
+		// Classify by the smallest op kind so the class is independent of
+		// map iteration order when a unit already hosts several functions.
 		class := "other"
+		var minFn vt.OpKind
+		first := true
+		//daalint:allow detmap order-insensitive minimum
 		for k := range u.Fns {
-			class = opClass(k)
-			break
+			if first || k < minFn {
+				minFn, first = k, false
+			}
+		}
+		if !first {
+			class = opClass(minFn)
 		}
 		wm.Make("unit", prod.Attrs{"unit": u, "class": class})
 	}
@@ -107,6 +117,7 @@ func sameFns(u1, u2 *rtl.Unit) bool {
 	if len(u1.Fns) != len(u2.Fns) {
 		return false
 	}
+	//daalint:allow detmap order-insensitive membership test
 	for k := range u1.Fns {
 		if !u2.Fns[k] {
 			return false

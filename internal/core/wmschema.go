@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/prod"
+)
+
+// phaseSchemas declares, per synthesis phase, the working-memory
+// vocabulary that phase's seeder and actions create: class -> attributes.
+// It is maintained by hand next to the seeding code (seedTrace,
+// seedDataMemory, ...); LintKnowledgeBase checks every compiled pattern
+// against it, so renaming a class or attribute in a seeder without
+// updating its rules (or vice versa) fails the lint gate instead of
+// silently producing rules that never match. CI asserts the full rule
+// base lints clean (`daa -lint-rules`).
+var phaseSchemas = map[string]*prod.Schema{
+	"trace": {Classes: map[string][]string{
+		"top": {"op", "kind"},
+	}},
+	"data-memory": {Classes: map[string][]string{
+		"carrier": {"car", "kind", "bound"},
+	}},
+	"control": {Classes: map[string][]string{
+		"op":   {"op", "body", "seq", "class"},
+		"body": {"body", "cursor", "count"},
+	}},
+	"operators": {Classes: map[string][]string{
+		"op":   {"op", "kind", "class", "width", "bound"},
+		"unit": {"unit", "kind", "class"},
+	}},
+	"values": {Classes: map[string][]string{
+		"value": {"val", "body", "lo", "hi", "width", "bound"},
+		"track": {"reg", "body", "hi"},
+	}},
+	"datapath": {Classes: map[string][]string{
+		"task":     {"op", "class", "commutative", "routed"},
+		"park":     {"val", "routed"},
+		"constant": {"value", "width", "done"},
+	}},
+	"cleanup": {Classes: map[string][]string{
+		"hreg": {"reg", "width"},
+		"unit": {"unit", "class"},
+	}},
+}
+
+// PhaseSchema returns the working-memory schema of one phase, or nil if
+// the phase is unknown.
+func PhaseSchema(phase string) *prod.Schema { return phaseSchemas[phase] }
+
+// KBFinding is one rule-lint finding, tagged with the phase whose engine
+// the rule is registered in.
+type KBFinding struct {
+	Phase   string
+	Finding prod.RuleFinding
+}
+
+func (f KBFinding) String() string {
+	return fmt.Sprintf("%s: %s", f.Phase, f.Finding)
+}
+
+// LintKnowledgeBase registers each phase's rules in a fresh engine and
+// statically lints them against that phase's working-memory schema.
+// Findings come back in phase execution order, then rule registration
+// order. A clean rule base returns nil.
+func LintKnowledgeBase() []KBFinding {
+	kb := KnowledgeBase()
+	var out []KBFinding
+	for _, phase := range PhaseOrder {
+		eng := prod.NewEngine(prod.NewWM())
+		for _, r := range kb[phase] {
+			eng.AddRule(r)
+		}
+		for _, f := range eng.LintRules(phaseSchemas[phase]) {
+			out = append(out, KBFinding{Phase: phase, Finding: f})
+		}
+	}
+	return out
+}

@@ -29,10 +29,10 @@ type E9Row struct {
 // synthesized RTL under the default seeded stimulus — across the flow
 // worker pool, with the Verilog emitted alongside. Row order is fixed by
 // bench.Names.
-func E9() ([]E9Row, error) {
+func E9(ctx context.Context) ([]E9Row, error) {
 	names := bench.Names()
 	rows := make([]E9Row, len(names))
-	err := flow.RunAll(context.Background(), len(names), func(ctx context.Context, i int) error {
+	err := flow.RunAll(ctx, len(names), func(ctx context.Context, i int) error {
 		res, err := compileBench(ctx, names[i], flow.Options{EmitVerilog: true, Cosim: true})
 		if err != nil {
 			return fmt.Errorf("%s: %w", names[i], err)
@@ -54,8 +54,8 @@ func E9() ([]E9Row, error) {
 }
 
 // RenderE9 prints the cosimulation table.
-func RenderE9(w io.Writer) error {
-	rows, err := E9()
+func RenderE9(ctx context.Context, w io.Writer) error {
+	rows, err := E9(ctx)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 // behavioral description, and every row carries evidence (samples) and an
 // emitted artifact (Verilog bytes).
 func TestE9AllEquivalent(t *testing.T) {
-	rows, err := E9()
+	rows, err := E9(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestE9AllEquivalent(t *testing.T) {
 // TestRenderE9 pins the table's shape.
 func TestRenderE9(t *testing.T) {
 	var sb strings.Builder
-	if err := RenderE9(&sb); err != nil {
+	if err := RenderE9(context.Background(), &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"regexp"
 	"strings"
 	"testing"
@@ -23,7 +24,7 @@ func TestAllocatorsLeaveInputUnrefined(t *testing.T) {
 	if err := tr.Dump(&before); err != nil {
 		t.Fatal(err)
 	}
-	rows, err := Allocators(tr)
+	rows, err := Allocators(context.Background(), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestAllDeterministicUnderParallelism(t *testing.T) {
 	}
 	run := func() string {
 		var sb strings.Builder
-		if err := All(&sb); err != nil {
+		if err := All(context.Background(), &sb); err != nil {
 			t.Fatal(err)
 		}
 		return normalizeTimings(sb.String())
@@ -175,7 +176,7 @@ func TestWriteJSONDeterministicUnderParallelism(t *testing.T) {
 	}
 	run := func() string {
 		var sb strings.Builder
-		if err := WriteJSON(&sb); err != nil {
+		if err := WriteJSON(context.Background(), &sb); err != nil {
 			t.Fatal(err)
 		}
 		return normalizeJSON(sb.String())

@@ -101,9 +101,9 @@ type E2Row struct {
 // baselines must see the unrefined description, as the paper's
 // comparators did — and the caller's trace is never touched, so one
 // cached front-end build serves all three runs.
-func Allocators(tr *vt.Program) ([]E2Row, error) {
+func Allocators(ctx context.Context, tr *vt.Program) ([]E2Row, error) {
 	model := cost.Default()
-	daa, err := core.Synthesize(vt.Clone(tr), core.Options{})
+	daa, err := core.SynthesizeContext(ctx, vt.Clone(tr), core.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("daa: %w", err)
 	}
@@ -123,17 +123,17 @@ func Allocators(tr *vt.Program) ([]E2Row, error) {
 }
 
 // E2 runs the allocator comparison on one benchmark.
-func E2(benchName string) ([]E2Row, error) {
-	tr, err := bench.Load(benchName)
+func E2(ctx context.Context, benchName string) ([]E2Row, error) {
+	tr, err := bench.LoadContext(ctx, benchName)
 	if err != nil {
 		return nil, err
 	}
-	return Allocators(tr)
+	return Allocators(ctx, tr)
 }
 
 // RenderE2 prints Table 2 for a benchmark.
-func RenderE2(w io.Writer, benchName string) error {
-	rows, err := E2(benchName)
+func RenderE2(ctx context.Context, w io.Writer, benchName string) error {
+	rows, err := E2(ctx, benchName)
 	if err != nil {
 		return err
 	}
@@ -162,8 +162,8 @@ type E3Data struct {
 }
 
 // E3 runs the DAA and collects the per-phase statistics.
-func E3(benchName string) (*E3Data, error) {
-	return e3(context.Background(), benchName)
+func E3(ctx context.Context, benchName string) (*E3Data, error) {
+	return e3(ctx, benchName)
 }
 
 func e3(ctx context.Context, benchName string) (*E3Data, error) {
@@ -191,8 +191,8 @@ func e3flow(ctx context.Context, benchName string, opt flow.Options) (*E3Data, e
 // RenderE3 prints Table 3, including the engine-metrics columns from the
 // incremental matcher: pattern tests executed, incremental conflict-set
 // updates vs full re-enumerations, and the conflict-set peak.
-func RenderE3(w io.Writer, benchName string) error {
-	d, err := E3(benchName)
+func RenderE3(ctx context.Context, w io.Writer, benchName string) error {
+	d, err := E3(ctx, benchName)
 	if err != nil {
 		return err
 	}
@@ -213,8 +213,8 @@ func RenderE3(w io.Writer, benchName string) error {
 
 // EngineMetrics runs the DAA on a benchmark and returns the merged
 // engine-metrics snapshot across all phases.
-func EngineMetrics(benchName string) (*E3Data, prod.Metrics, error) {
-	d, err := E3(benchName)
+func EngineMetrics(ctx context.Context, benchName string) (*E3Data, prod.Metrics, error) {
+	d, err := E3(ctx, benchName)
 	if err != nil {
 		return nil, prod.Metrics{}, err
 	}
@@ -223,8 +223,8 @@ func EngineMetrics(benchName string) (*E3Data, prod.Metrics, error) {
 
 // RenderEngineMetrics prints the engine observability section: where the
 // incremental matcher spends its time, rule by rule.
-func RenderEngineMetrics(w io.Writer, benchName string) error {
-	d, m, err := EngineMetrics(benchName)
+func RenderEngineMetrics(ctx context.Context, w io.Writer, benchName string) error {
+	d, m, err := EngineMetrics(ctx, benchName)
 	if err != nil {
 		return err
 	}
@@ -278,8 +278,8 @@ type E4Point struct {
 }
 
 // E4 captures the design after every DAA phase.
-func E4(benchName string) ([]E4Point, error) {
-	res, err := compileBench(context.Background(), benchName, flow.Options{})
+func E4(ctx context.Context, benchName string) ([]E4Point, error) {
+	res, err := compileBench(ctx, benchName, flow.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -291,8 +291,8 @@ func E4(benchName string) ([]E4Point, error) {
 }
 
 // RenderE4 prints Figure 1: component counts after each phase.
-func RenderE4(w io.Writer, benchName string) error {
-	pts, err := E4(benchName)
+func RenderE4(ctx context.Context, w io.Writer, benchName string) error {
+	pts, err := E4(ctx, benchName)
 	if err != nil {
 		return err
 	}
@@ -326,10 +326,10 @@ type E5Point struct {
 // whole benchmark suite. The nine syntheses are independent, so they run
 // across the flow worker pool; results land by benchmark index and are
 // then sorted by size (name-tiebroken), keeping the table deterministic.
-func E5() ([]E5Point, error) {
+func E5(ctx context.Context) ([]E5Point, error) {
 	names := bench.Names()
 	pts := make([]E5Point, len(names))
-	err := flow.RunAll(context.Background(), len(names), func(ctx context.Context, i int) error {
+	err := flow.RunAll(ctx, len(names), func(ctx context.Context, i int) error {
 		d, err := e3(ctx, names[i])
 		if err != nil {
 			return err
@@ -362,8 +362,8 @@ func E5() ([]E5Point, error) {
 }
 
 // RenderE5 prints Figure 2.
-func RenderE5(w io.Writer) error {
-	pts, err := E5()
+func RenderE5(ctx context.Context, w io.Writer) error {
+	pts, err := E5(ctx)
 	if err != nil {
 		return err
 	}
@@ -393,11 +393,11 @@ type E6Row struct {
 // E6 runs all three allocators on every benchmark, fanning the
 // benchmarks out across the flow worker pool. Output order is fixed by
 // bench.Names, not completion order.
-func E6() ([]E6Row, error) {
+func E6(ctx context.Context) ([]E6Row, error) {
 	names := bench.Names()
 	out := make([]E6Row, len(names))
-	err := flow.RunAll(context.Background(), len(names), func(ctx context.Context, i int) error {
-		rows, err := E2(names[i])
+	err := flow.RunAll(ctx, len(names), func(ctx context.Context, i int) error {
+		rows, err := E2(ctx, names[i])
 		if err != nil {
 			return fmt.Errorf("%s: %w", names[i], err)
 		}
@@ -411,8 +411,8 @@ func E6() ([]E6Row, error) {
 }
 
 // RenderE6 prints Table 4.
-func RenderE6(w io.Writer) error {
-	rows, err := E6()
+func RenderE6(ctx context.Context, w io.Writer) error {
+	rows, err := E6(ctx)
 	if err != nil {
 		return err
 	}
@@ -432,12 +432,12 @@ func RenderE6(w io.Writer) error {
 // RenderStageTiming compiles each named benchmark (the whole suite when
 // none are named) and prints the wall time the staged pipeline spent per
 // stage. Front-end stages served from the artifact cache are starred.
-func RenderStageTiming(w io.Writer, names ...string) error {
+func RenderStageTiming(ctx context.Context, w io.Writer, names ...string) error {
 	if len(names) == 0 {
 		names = bench.Names()
 	}
 	results := make([]*flow.Result, len(names))
-	err := flow.RunAll(context.Background(), len(names), func(ctx context.Context, i int) error {
+	err := flow.RunAll(ctx, len(names), func(ctx context.Context, i int) error {
 		res, err := compileBench(ctx, names[i], flow.Options{})
 		if err != nil {
 			return fmt.Errorf("%s: %w", names[i], err)
@@ -481,8 +481,8 @@ func RenderStageTiming(w io.Writer, names ...string) error {
 // the provenance-depth table: firings per final component, by kind and
 // phase. It renders from the same provenance index as daa -explain and
 // daad GET /v1/explain.
-func ProvenanceDepth(benchName string) ([]core.DepthRow, error) {
-	res, err := compileBench(context.Background(), benchName,
+func ProvenanceDepth(ctx context.Context, benchName string) ([]core.DepthRow, error) {
+	res, err := compileBench(ctx, benchName,
 		flow.Options{Core: core.Options{Journal: true}})
 	if err != nil {
 		return nil, err
@@ -491,8 +491,8 @@ func ProvenanceDepth(benchName string) ([]core.DepthRow, error) {
 }
 
 // RenderProvenanceDepth prints the provenance-depth table.
-func RenderProvenanceDepth(w io.Writer, benchName string) error {
-	rows, err := ProvenanceDepth(benchName)
+func RenderProvenanceDepth(ctx context.Context, w io.Writer, benchName string) error {
+	rows, err := ProvenanceDepth(ctx, benchName)
 	if err != nil {
 		return err
 	}
@@ -515,36 +515,36 @@ func RenderProvenanceDepth(w io.Writer, benchName string) error {
 
 // All renders every experiment, Table 2/3 and Figure 1 on the paper's
 // MCS6502 case study.
-func All(w io.Writer) error {
+func All(ctx context.Context, w io.Writer) error {
 	RenderE1(w)
-	if err := RenderE2(w, "mcs6502"); err != nil {
+	if err := RenderE2(ctx, w, "mcs6502"); err != nil {
 		return err
 	}
-	if err := RenderE3(w, "mcs6502"); err != nil {
+	if err := RenderE3(ctx, w, "mcs6502"); err != nil {
 		return err
 	}
-	if err := RenderE4(w, "mcs6502"); err != nil {
+	if err := RenderE4(ctx, w, "mcs6502"); err != nil {
 		return err
 	}
-	if err := RenderE5(w); err != nil {
+	if err := RenderE5(ctx, w); err != nil {
 		return err
 	}
-	if err := RenderE6(w); err != nil {
+	if err := RenderE6(ctx, w); err != nil {
 		return err
 	}
-	if err := RenderE7(w); err != nil {
+	if err := RenderE7(ctx, w); err != nil {
 		return err
 	}
-	if err := RenderE9(w); err != nil {
+	if err := RenderE9(ctx, w); err != nil {
 		return err
 	}
-	if err := RenderStageTiming(w); err != nil {
+	if err := RenderStageTiming(ctx, w); err != nil {
 		return err
 	}
-	if err := RenderProvenanceDepth(w, "mcs6502"); err != nil {
+	if err := RenderProvenanceDepth(ctx, w, "mcs6502"); err != nil {
 		return err
 	}
-	return RenderEngineMetrics(w, "mcs6502")
+	return RenderEngineMetrics(ctx, w, "mcs6502")
 }
 
 // E7Row is one benchmark of the knowledge-ablation study: the full DAA
@@ -564,7 +564,7 @@ type E7Row struct {
 // worker pool. Each synthesis compiles through the cached front end and
 // lands in its (benchmark, variant) slot, so the table is deterministic
 // regardless of scheduling.
-func E7() ([]E7Row, error) {
+func E7(ctx context.Context) ([]E7Row, error) {
 	variants := []core.Options{
 		{},
 		{DisableTraceRules: true},
@@ -574,7 +574,7 @@ func E7() ([]E7Row, error) {
 	names := bench.Names()
 	out := make([]E7Row, len(names))
 	costs := make([][4]float64, len(names))
-	err := flow.RunAll(context.Background(), len(names)*len(variants), func(ctx context.Context, idx int) error {
+	err := flow.RunAll(ctx, len(names)*len(variants), func(ctx context.Context, idx int) error {
 		b, v := idx/len(variants), idx%len(variants)
 		res, err := compileBench(ctx, names[b], flow.Options{Core: variants[v]})
 		if err != nil {
@@ -599,8 +599,8 @@ func E7() ([]E7Row, error) {
 }
 
 // RenderE7 prints the ablation table.
-func RenderE7(w io.Writer) error {
-	rows, err := E7()
+func RenderE7(ctx context.Context, w io.Writer) error {
+	rows, err := E7(ctx)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -34,7 +35,7 @@ func TestE2ShapeOnMCS6502(t *testing.T) {
 	if testing.Short() {
 		t.Skip("mcs6502 synthesis in -short mode")
 	}
-	rows, err := E2("mcs6502")
+	rows, err := E2(context.Background(), "mcs6502")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestE2ShapeOnMCS6502(t *testing.T) {
 }
 
 func TestE3StatisticsShape(t *testing.T) {
-	d, err := E3("gcd")
+	d, err := E3(context.Background(), "gcd")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestE3StatisticsShape(t *testing.T) {
 }
 
 func TestE4EvolutionShape(t *testing.T) {
-	pts, err := E4("gcd")
+	pts, err := E4(context.Background(), "gcd")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestE5ScalingShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-suite synthesis in -short mode")
 	}
-	pts, err := E5()
+	pts, err := E5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestE6OrderingHoldsEverywhere(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-suite synthesis in -short mode")
 	}
-	rows, err := E6()
+	rows, err := E6(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,13 +159,13 @@ func TestE6OrderingHoldsEverywhere(t *testing.T) {
 func TestRenderersProduceTables(t *testing.T) {
 	var sb strings.Builder
 	RenderE1(&sb)
-	if err := RenderE2(&sb, "gcd"); err != nil {
+	if err := RenderE2(context.Background(), &sb, "gcd"); err != nil {
 		t.Fatal(err)
 	}
-	if err := RenderE3(&sb, "gcd"); err != nil {
+	if err := RenderE3(context.Background(), &sb, "gcd"); err != nil {
 		t.Fatal(err)
 	}
-	if err := RenderE4(&sb, "gcd"); err != nil {
+	if err := RenderE4(context.Background(), &sb, "gcd"); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -176,13 +177,13 @@ func TestRenderersProduceTables(t *testing.T) {
 }
 
 func TestRenderErrorsOnUnknownBench(t *testing.T) {
-	if err := RenderE2(io.Discard, "nope"); err == nil {
+	if err := RenderE2(context.Background(), io.Discard, "nope"); err == nil {
 		t.Error("expected error for unknown benchmark")
 	}
-	if err := RenderE3(io.Discard, "nope"); err == nil {
+	if err := RenderE3(context.Background(), io.Discard, "nope"); err == nil {
 		t.Error("expected error for unknown benchmark")
 	}
-	if err := RenderE4(io.Discard, "nope"); err == nil {
+	if err := RenderE4(context.Background(), io.Discard, "nope"); err == nil {
 		t.Error("expected error for unknown benchmark")
 	}
 }
@@ -191,7 +192,7 @@ func TestE7AblationNeverWins(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-suite synthesis in -short mode")
 	}
-	rows, err := E7()
+	rows, err := E7(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -72,8 +72,8 @@ type JSONResult struct {
 // JSONResults synthesizes every embedded benchmark — in parallel across
 // the flow worker pool — and collects one JSONResult each, in bench.Names
 // order regardless of completion order.
-func JSONResults() ([]JSONResult, error) {
-	return JSONResultsOpts(core.Options{}, false)
+func JSONResults(ctx context.Context) ([]JSONResult, error) {
+	return JSONResultsOpts(ctx, core.Options{}, false)
 }
 
 // JSONResultsOpts is JSONResults with engine options, so CI can record a
@@ -81,10 +81,10 @@ func JSONResults() ([]JSONResult, error) {
 // diff pattern tests and match time between matchers. With verify, every
 // benchmark additionally runs the emit and cosim stages and the record
 // carries the equivalence verdict plus their stage timings.
-func JSONResultsOpts(copt core.Options, verify bool) ([]JSONResult, error) {
+func JSONResultsOpts(ctx context.Context, copt core.Options, verify bool) ([]JSONResult, error) {
 	names := bench.Names()
 	out := make([]JSONResult, len(names))
-	err := flow.RunAll(context.Background(), len(names), func(ctx context.Context, i int) error {
+	err := flow.RunAll(ctx, len(names), func(ctx context.Context, i int) error {
 		d, err := e3flow(ctx, names[i], flow.Options{Core: copt, EmitVerilog: verify, Cosim: verify})
 		if err != nil {
 			return err
@@ -147,15 +147,15 @@ func JSONResultsOpts(copt core.Options, verify bool) ([]JSONResult, error) {
 // cmd/daabench -json prints for CI recording. The document-level flowCache
 // block reports the artifact cache's process-wide hit/miss/eviction
 // counters after the suite ran.
-func WriteJSON(w io.Writer) error {
-	return WriteJSONOpts(w, core.Options{}, false)
+func WriteJSON(ctx context.Context, w io.Writer) error {
+	return WriteJSONOpts(ctx, w, core.Options{}, false)
 }
 
 // WriteJSONOpts is WriteJSON with engine options (daabench -json -lite /
 // -exhaustive record the interpreted-matcher baselines; -json -verify adds
 // the cosim verdict and the emit/cosim stage timings).
-func WriteJSONOpts(w io.Writer, copt core.Options, verify bool) error {
-	results, err := JSONResultsOpts(copt, verify)
+func WriteJSONOpts(ctx context.Context, w io.Writer, copt core.Options, verify bool) error {
+	results, err := JSONResultsOpts(ctx, copt, verify)
 	if err != nil {
 		return err
 	}

@@ -116,6 +116,31 @@ func Diagnose(stage string, in Input, err error) error {
 	return out
 }
 
+// LintDiagnostics converts post-sema lint warnings into a positioned
+// DiagnosticList under StageLint, attaching the source line each warning
+// points at so the CLIs can render a caret under the offending column.
+// Returns nil for an empty warning list.
+func LintDiagnostics(in Input, ws []isps.Warning) DiagnosticList {
+	if len(ws) == 0 {
+		return nil
+	}
+	lines := strings.Split(in.Source, "\n")
+	out := make(DiagnosticList, 0, len(ws))
+	for _, lw := range ws {
+		var src string
+		if lw.Pos.Line > 0 && lw.Pos.Line <= len(lines) {
+			src = strings.TrimRight(lines[lw.Pos.Line-1], "\r")
+		}
+		out = append(out, &Diagnostic{
+			Stage:   StageLint,
+			Pos:     lw.Pos,
+			Msg:     fmt.Sprintf("%s: %s", lw.Code, lw.Msg),
+			SrcLine: src,
+		})
+	}
+	return out
+}
+
 // Exit codes shared by the command-line tools.
 const (
 	ExitUsage      = 1 // bad flags or arguments

@@ -62,6 +62,7 @@ const (
 	StageCost     = "cost"
 	StageEmit     = "emit"
 	StageCosim    = "cosim"
+	StageLint     = "lint" // off-pipeline: ispsfmt -lint / daad /v1/lint
 )
 
 // Allocator names accepted by Options.Allocator.

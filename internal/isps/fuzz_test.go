@@ -36,6 +36,18 @@ func FuzzParse(f *testing.F) {
 		if err != nil {
 			return // rejection is fine; panics are not
 		}
+		// The semantic linter must hold up on anything the front end
+		// accepts: no panics, and two runs agree (determinism).
+		ws := isps.Lint(prog)
+		again := isps.Lint(prog)
+		if len(ws) != len(again) {
+			t.Fatalf("lint is nondeterministic: %d then %d warnings\n%s", len(ws), len(again), src)
+		}
+		for i := range ws {
+			if ws[i].String() != again[i].String() {
+				t.Fatalf("lint is nondeterministic at %d: %v vs %v\n%s", i, ws[i], again[i], src)
+			}
+		}
 		// Anything the front end accepts must lower and validate.
 		tr, err := vt.Build(prog)
 		if err != nil {

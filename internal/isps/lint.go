@@ -23,8 +23,18 @@ func (w Warning) String() string { return fmt.Sprintf("%s: %s: %s", w.Pos, w.Cod
 //	constant-condition  an if/while condition is a constant
 //	self-assignment     X := X has no effect
 //	incomplete-decode   a decode without otherwise does not cover its selector
+//	unreachable-decode  a decode arm that can never run: an otherwise behind
+//	                    full case coverage, or a case a constant selector
+//	                    never takes
+//	width-mismatch      a comparison of carriers with different widths; the
+//	                    narrower side zero-extends, which usually means a
+//	                    missing bit slice
 //	empty-procedure     a procedure with no statements
 //	unused-procedure    a procedure never called and not the entry
+//
+// Lint expects an analyzed program (expression widths come from sema).
+// Assignments need no width lint: sema already rejects truncation as a hard
+// error, and zero-extending a narrower source is idiomatic ISPS.
 //
 // The order of warnings is deterministic (by position).
 func Lint(prog *Program) []Warning {
@@ -108,17 +118,36 @@ func (l *linter) stmt(s Stmt) {
 	case *Decode:
 		l.expr(s.Selector)
 		w := s.Selector.ResultWidth()
-		if s.Otherwise == nil && w > 0 && w < 16 {
-			covered := map[uint64]bool{}
-			for _, c := range s.Cases {
-				for _, v := range c.Values {
-					covered[v] = true
-				}
+		covered := map[uint64]bool{}
+		for _, c := range s.Cases {
+			for _, v := range c.Values {
+				covered[v] = true
 			}
-			if len(covered) < 1<<uint(w) {
+		}
+		if w > 0 && w < 16 {
+			switch full := len(covered) == 1<<uint(w); {
+			case s.Otherwise == nil && !full:
 				l.warn(s.Pos, "incomplete-decode",
 					"decode covers %d of %d selector values with no otherwise arm (uncovered values do nothing)",
 					len(covered), 1<<uint(w))
+			case s.Otherwise != nil && full:
+				l.warn(s.Pos, "unreachable-decode",
+					"otherwise arm is unreachable: the cases already cover all %d selector values", 1<<uint(w))
+			}
+		}
+		if n, isConst := s.Selector.(*Num); isConst {
+			for _, c := range s.Cases {
+				hit := false
+				for _, v := range c.Values {
+					if v == n.Value {
+						hit = true
+						break
+					}
+				}
+				if !hit {
+					l.warn(c.Pos, "unreachable-decode",
+						"case is unreachable: the selector is constantly %d", n.Value)
+				}
 			}
 		}
 		for _, c := range s.Cases {
@@ -152,6 +181,19 @@ func (l *linter) expr(e Expr) {
 	case *UnOp:
 		l.expr(e.X)
 	case *BinOp:
+		if e.Op.IsCompare() {
+			// Sema re-widens constant operands to the other side's width, so a
+			// surviving mismatch is carrier-vs-carrier: the narrower one
+			// zero-extends before the compare, which usually means the wider
+			// side wanted a bit slice.
+			_, xConst := e.X.(*Num)
+			_, yConst := e.Y.(*Num)
+			xw, yw := e.X.ResultWidth(), e.Y.ResultWidth()
+			if !xConst && !yConst && xw > 0 && yw > 0 && xw != yw {
+				l.warn(e.Pos, "width-mismatch",
+					"comparing %d-bit %s with %d-bit %s (the narrower side zero-extends)", xw, e.X, yw, e.Y)
+			}
+		}
 		l.expr(e.X)
 		l.expr(e.Y)
 	}

@@ -139,6 +139,61 @@ processor P {
 	}
 }
 
+func TestLintUnreachableDecode(t *testing.T) {
+	// Otherwise behind full case coverage never runs.
+	ws := lintOf(t, `
+processor P {
+    reg A<1:0>
+    reg B<7:0>
+    main m {
+        decode A { 0: B := 1  1: B := 2  2: B := 3  3: B := 4 otherwise: B := 5 }
+    }
+}`)
+	if codes(ws)["unreachable-decode"] != 1 {
+		t.Fatalf("want one unreachable-decode for the dead otherwise, got %v", ws)
+	}
+	// A constant selector makes every non-matching case dead.
+	ws = lintOf(t, `
+processor P {
+    reg B<7:0>
+    main m {
+        decode 2 { 0: B := 1  2: B := 2  3: B := 3 }
+    }
+}`)
+	if codes(ws)["unreachable-decode"] != 2 { // cases 0 and 3
+		t.Fatalf("want two unreachable cases under constant selector 2, got %v", ws)
+	}
+	// Reachable otherwise stays silent.
+	ws = lintOf(t, `
+processor P {
+    reg A<1:0>
+    reg B<7:0>
+    main m {
+        decode A { 0: B := 1  1: B := 2 otherwise: B := 3 }
+    }
+}`)
+	if codes(ws)["unreachable-decode"] != 0 {
+		t.Fatalf("live otherwise flagged: %v", ws)
+	}
+}
+
+func TestLintWidthMismatch(t *testing.T) {
+	ws := lintOf(t, `
+processor P {
+    reg A<7:0>
+    reg B<3:0>
+    reg F<0:0>
+    main m {
+        if A eql B { F := 1 }       ! 8-bit vs 4-bit: flagged
+        if A<3:0> eql B { F := 0 }  ! sliced to match: clean
+        if A gtr 200 { F := 1 }     ! constant re-widened by sema: clean
+    }
+}`)
+	if codes(ws)["width-mismatch"] != 1 {
+		t.Fatalf("want exactly one width-mismatch, got %v", ws)
+	}
+}
+
 func TestLintProcedures(t *testing.T) {
 	ws := lintOf(t, `
 processor P {

@@ -362,6 +362,9 @@ func (net *alphaNet) memFor(class string, specs []alphaSpec, wm *WM, seeded bool
 // within each class so the test cache shares evaluations across the
 // class's memories.
 func (net *alphaNet) seed(wm *WM) {
+	// Each memory holds a single class, so its internal order is always
+	// wm.byClass order regardless of which class seeds first.
+	//daalint:allow detmap per-memory order fixed by wm.byClass
 	for class, mems := range net.byClass {
 		for _, el := range wm.byClass[class] {
 			net.gen++

@@ -1,0 +1,233 @@
+package prod
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+// Schema declares the working-memory vocabulary a rule set may reference:
+// class name -> attribute names rules may test. Hosts that seed working
+// memory maintain the schema next to the seeding code; LintRules checks
+// every compiled pattern against it, so a renamed class or attribute in
+// the seeder breaks the lint gate instead of silently never matching.
+type Schema struct {
+	Classes map[string][]string
+}
+
+// HasClass reports whether the schema declares the class.
+func (s *Schema) HasClass(class string) bool {
+	_, ok := s.Classes[class]
+	return ok
+}
+
+// HasAttr reports whether the schema declares attr on class.
+func (s *Schema) HasAttr(class, attr string) bool {
+	for _, a := range s.Classes[class] {
+		if a == attr {
+			return true
+		}
+	}
+	return false
+}
+
+// Rule-lint finding codes.
+const (
+	LintUnboundVariable = "unbound-variable" // variable exported from a negated pattern
+	LintUnknownClass    = "unknown-class"    // pattern class absent from the schema
+	LintUnknownAttr     = "unknown-attr"     // tested attribute absent from the schema
+	LintDeadAlpha       = "dead-alpha"       // contradictory tests: the pattern can never match
+	LintShadowedLHS     = "shadowed-lhs"     // identical LHS registered earlier
+)
+
+// RuleFinding is one static-analysis finding about a registered rule.
+type RuleFinding struct {
+	Rule  string // rule name
+	Index int    // registration order in the engine
+	Code  string // one of the Lint* codes
+	Msg   string
+}
+
+func (f RuleFinding) String() string {
+	return fmt.Sprintf("rule %q: %s: %s", f.Rule, f.Code, f.Msg)
+}
+
+// LintRules statically analyzes the engine's compiled rule set without
+// firing anything. With a non-nil schema it also checks every class and
+// attribute reference against the declared working-memory vocabulary.
+// Findings are ordered by registration index, then code.
+//
+// The checks:
+//
+//   - unbound-variable: a pattern variable's first binding occurs inside
+//     a negated pattern and the variable is used again later. Negated
+//     patterns assert absence — they cannot export bindings, so the later
+//     use never unifies and the rule never fires (or Match.Get panics).
+//   - unknown-class / unknown-attr: the pattern references vocabulary the
+//     schema does not declare; such a pattern can never match anything
+//     the host seeds, which is how renames silently kill rules.
+//   - dead-alpha: one pattern carries contradictory constant tests (two
+//     different Eq values, Eq and Neq of the same value, or Absent
+//     combined with a test requiring presence), so its alpha test can
+//     never pass.
+//   - shadowed-lhs: a rule's LHS is structurally identical to an earlier
+//     rule's (classes, negation, tests, predicates by identity) and
+//     neither carries a Where join; the pair fires on exactly the same
+//     instantiations, which almost always means a copy-paste error.
+func (e *Engine) LintRules(sch *Schema) []RuleFinding {
+	var out []RuleFinding
+	for _, r := range e.rules {
+		out = append(out, lintRule(r, sch)...)
+	}
+	out = append(out, lintShadowing(e.rules)...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Index != out[j].Index {
+			return out[i].Index < out[j].Index
+		}
+		return out[i].Code < out[j].Code
+	})
+	return out
+}
+
+// lintRule runs the per-rule checks over one rule's finalized patterns.
+func lintRule(r *Rule, sch *Schema) []RuleFinding {
+	var out []RuleFinding
+	report := func(code, format string, args ...any) {
+		out = append(out, RuleFinding{Rule: r.Name, Index: r.index, Code: code, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	// negBound tracks variables whose first binding sits in a negated
+	// pattern; bound tracks variables bound by positive patterns.
+	bound := map[string]bool{}
+	negBound := map[string]int{} // variable -> pattern index of the negated first binding
+	for pi := range r.Patterns {
+		p := &r.Patterns[pi]
+		p.finalize()
+
+		if sch != nil {
+			if !sch.HasClass(p.Class) {
+				report(LintUnknownClass, "pattern %d matches class %q, which no seeder creates", pi, p.Class)
+			} else {
+				for _, t := range p.tests {
+					if !sch.HasAttr(p.Class, t.attr) {
+						report(LintUnknownAttr, "pattern %d tests attribute %q, not in class %q's schema", pi, t.attr, p.Class)
+					}
+				}
+			}
+		}
+
+		for _, t := range p.tests {
+			if t.kind != testBind {
+				continue
+			}
+			if bound[t.vari] {
+				continue // join against an earlier positive binding
+			}
+			if npi, ok := negBound[t.vari]; ok {
+				report(LintUnboundVariable,
+					"variable %q is first bound in negated pattern %d and used in pattern %d; negated patterns cannot export bindings", t.vari, npi, pi)
+				continue
+			}
+			if p.Negated {
+				negBound[t.vari] = pi
+			} else {
+				bound[t.vari] = true
+			}
+		}
+
+		out = append(out, lintDeadAlpha(r, pi, p)...)
+	}
+	return out
+}
+
+// lintDeadAlpha reports contradictory constant tests within one pattern.
+func lintDeadAlpha(r *Rule, pi int, p *Pattern) []RuleFinding {
+	var out []RuleFinding
+	report := func(format string, args ...any) {
+		out = append(out, RuleFinding{Rule: r.Name, Index: r.index, Code: LintDeadAlpha, Msg: fmt.Sprintf(format, args...)})
+	}
+	eqVal := map[string]any{}
+	absent := map[string]bool{}
+	needsPresence := map[string]testKind{}
+	for _, t := range p.tests {
+		switch t.kind {
+		case testEq:
+			if prev, ok := eqVal[t.attr]; ok && prev != t.val {
+				report("pattern %d requires %s == %v and %s == %v; no element satisfies both", pi, t.attr, prev, t.attr, t.val)
+			}
+			eqVal[t.attr] = t.val
+		case testNeq:
+			if prev, ok := eqVal[t.attr]; ok && prev == t.val {
+				report("pattern %d requires %s == %v and %s != %v; no element satisfies both", pi, t.attr, prev, t.attr, t.val)
+			}
+		case testAbsent:
+			absent[t.attr] = true
+		case testBind, testPresent, testPred:
+			needsPresence[t.attr] = t.kind
+		}
+	}
+	absentAttrs := make([]string, 0, len(absent))
+	for attr := range absent {
+		absentAttrs = append(absentAttrs, attr)
+	}
+	sort.Strings(absentAttrs)
+	for _, attr := range absentAttrs {
+		if _, ok := eqVal[attr]; ok {
+			report("pattern %d requires %s to be absent and to equal %v", pi, attr, eqVal[attr])
+		} else if _, ok := needsPresence[attr]; ok {
+			report("pattern %d requires %s to be absent and present", pi, attr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Msg < out[j].Msg })
+	return out
+}
+
+// lintShadowing reports rules whose LHS duplicates an earlier rule's.
+func lintShadowing(rules []*Rule) []RuleFinding {
+	var out []RuleFinding
+	for i, r := range rules {
+		if r.Where != nil {
+			continue // invisible extra join: not comparable
+		}
+		for _, prev := range rules[:i] {
+			if prev.Where != nil {
+				continue
+			}
+			if sameLHS(r, prev) {
+				out = append(out, RuleFinding{
+					Rule: r.Name, Index: r.index, Code: LintShadowedLHS,
+					Msg: fmt.Sprintf("LHS is identical to earlier rule %q (index %d); both fire on exactly the same instantiations", prev.Name, prev.index),
+				})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// sameLHS reports whether two rules have structurally identical pattern
+// lists. Predicates compare by function identity.
+func sameLHS(a, b *Rule) bool {
+	if len(a.Patterns) != len(b.Patterns) {
+		return false
+	}
+	for i := range a.Patterns {
+		pa, pb := &a.Patterns[i], &b.Patterns[i]
+		pa.finalize()
+		pb.finalize()
+		if pa.Class != pb.Class || pa.Negated != pb.Negated || len(pa.tests) != len(pb.tests) {
+			return false
+		}
+		for j := range pa.tests {
+			ta, tb := pa.tests[j], pb.tests[j]
+			if ta.kind != tb.kind || ta.attr != tb.attr || ta.val != tb.val || ta.vari != tb.vari {
+				return false
+			}
+			if ta.kind == testPred &&
+				reflect.ValueOf(ta.pred).Pointer() != reflect.ValueOf(tb.pred).Pointer() {
+				return false
+			}
+		}
+	}
+	return true
+}

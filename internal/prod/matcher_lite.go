@@ -221,6 +221,7 @@ func diffInstantiations(e *Engine, old, fresh []*Match) (added, invalidated int)
 			added++
 		}
 	}
+	//daalint:allow detmap order-insensitive sum
 	for _, n := range prev {
 		invalidated += n
 	}

@@ -210,13 +210,25 @@ func checkAttrValue(class, attr string, v any) {
 	}
 }
 
+// sortedKeys returns the attribute names in sorted order so attribute
+// slots, index entries, and change notifications are independent of Go's
+// randomized map iteration.
+func (a Attrs) sortedKeys() []string {
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // Make creates a new element of the given class.
 func (w *WM) Make(class string, attrs Attrs) *Element {
 	w.clock++
 	e := &Element{ID: w.nextID, Class: class, Time: w.clock}
 	w.nextID++
-	for k, v := range attrs {
-		if v != nil {
+	for _, k := range attrs.sortedKeys() {
+		if v := attrs[k]; v != nil {
 			checkAttrValue(class, k, v)
 			e.set(k, v)
 			w.index(e, k, v)
@@ -261,7 +273,8 @@ func (w *WM) Modify(e *Element, attrs Attrs) {
 	w.clock++
 	e.Time = w.clock
 	var changed []string
-	for k, v := range attrs {
+	for _, k := range attrs.sortedKeys() {
+		v := attrs[k]
 		checkAttrValue(e.Class, k, v)
 		old, had := e.lookup(k)
 		if had {

@@ -10,6 +10,9 @@
 //	                     diagnostics, optional Verilog/control-table/DOT
 //	POST /v1/batch       N sources fanned out on the bounded worker pool,
 //	                     results in input order
+//	POST /v1/lint        semantic lint of one source (ispsfmt -lint) and/or
+//	                     the embedded rule base (daa -lint-rules), findings
+//	                     with positions; runs on the same worker pool
 //	GET  /v1/healthz     liveness and drain state
 //	GET  /v1/metrics     JSON counters: requests, cache hits/misses, queue
 //	                     depth, in-flight, per-stage wall time, engine rollups
@@ -333,6 +336,53 @@ func (d Diagnostic) FlowDiagnostic() *flow.Diagnostic {
 		Msg:     d.Msg,
 		SrcLine: d.SrcLine,
 	}
+}
+
+// LintRequest is the POST /v1/lint body: semantic lint over one ISPS
+// source (the same checks as `ispsfmt -lint`), optionally alongside a lint
+// of the embedded synthesis rule base (the same checks as
+// `daa -lint-rules`). At least one of Source/Rules must be supplied.
+type LintRequest struct {
+	// Name labels the source in finding positions (default "input.isps").
+	Name string `json:"name,omitempty"`
+	// Source is the ISPS behavioral description to lint. Optional when
+	// Rules is set.
+	Source string `json:"source,omitempty"`
+	// Rules additionally lints the embedded 48-rule knowledge base against
+	// the per-phase working-memory schemas.
+	Rules bool `json:"rules,omitempty"`
+}
+
+// LintResponse is the POST /v1/lint success body. Findings are a verdict,
+// not an error: a dirty source still answers 200. (Sources that fail
+// parse/sema never reach the linter and answer 422 with diagnostics, like
+// /v1/synthesize.) The body is a pure function of the request: responses
+// are byte-deterministic.
+type LintResponse struct {
+	Name string `json:"name,omitempty"`
+	// Clean reports that neither layer produced findings.
+	Clean bool `json:"clean"`
+	// Findings are the source-lint findings with positions; each carries
+	// the offending source line for caret rendering, exactly the shape
+	// `ispsfmt -lint` prints locally.
+	Findings []Diagnostic `json:"findings,omitempty"`
+	// RuleBase reports on the embedded rule base when the request asked.
+	RuleBase *RuleBaseLint `json:"ruleBase,omitempty"`
+}
+
+// RuleBaseLint summarizes a knowledge-base lint pass.
+type RuleBaseLint struct {
+	Rules    int               `json:"rules"`
+	Phases   int               `json:"phases"`
+	Findings []RuleBaseFinding `json:"findings,omitempty"`
+}
+
+// RuleBaseFinding is one rule-lint finding on the wire.
+type RuleBaseFinding struct {
+	Phase string `json:"phase"`
+	Rule  string `json:"rule"`
+	Code  string `json:"code"`
+	Msg   string `json:"msg"`
 }
 
 // BatchRequest is the POST /v1/batch body.

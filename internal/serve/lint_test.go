@@ -1,0 +1,97 @@
+package serve
+
+// Tests of POST /v1/lint: clean and dirty sources, the rule-base pass,
+// front-end rejection, request validation, and byte-determinism.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func decodeLint(t *testing.T, body []byte) LintResponse {
+	t.Helper()
+	var out LintResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("unmarshal lint response: %v\n%s", err, body)
+	}
+	return out
+}
+
+func TestLintCleanSourceAndRuleBase(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := benchRequest(t, "gcd")
+	resp, body := postJSON(t, ts.URL+"/v1/lint", LintRequest{
+		Name: req.Name, Source: req.Source, Rules: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	out := decodeLint(t, body)
+	if !out.Clean {
+		t.Errorf("clean benchmark + shipped rule base reported dirty: %s", body)
+	}
+	if len(out.Findings) != 0 {
+		t.Errorf("unexpected source findings: %v", out.Findings)
+	}
+	if out.RuleBase == nil {
+		t.Fatal("rules=true but no ruleBase section")
+	}
+	if out.RuleBase.Rules != 48 || out.RuleBase.Phases != 7 {
+		t.Errorf("ruleBase = %d rules / %d phases, want 48/7", out.RuleBase.Rules, out.RuleBase.Phases)
+	}
+	if len(out.RuleBase.Findings) != 0 {
+		t.Errorf("shipped rule base has findings: %v", out.RuleBase.Findings)
+	}
+}
+
+func TestLintDirtySourceIsAVerdict(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	src := "processor P {\n    reg A<7:0>\n    reg GHOST<3:0>\n    main m { A := A }\n}\n"
+	resp, body := postJSON(t, ts.URL+"/v1/lint", LintRequest{Name: "dirty.isps", Source: src})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("findings must be a 200 verdict, got %d: %s", resp.StatusCode, body)
+	}
+	out := decodeLint(t, body)
+	if out.Clean || len(out.Findings) == 0 {
+		t.Fatalf("dirty source reported clean: %s", body)
+	}
+	for _, f := range out.Findings {
+		if f.File != "dirty.isps" || f.Line <= 0 || f.Col <= 0 {
+			t.Errorf("finding lacks a position: %+v", f)
+		}
+		if f.Stage != "lint" || f.SrcLine == "" {
+			t.Errorf("finding lacks stage/source line for caret rendering: %+v", f)
+		}
+	}
+	if out.RuleBase != nil {
+		t.Errorf("ruleBase present without rules=true: %s", body)
+	}
+}
+
+func TestLintRejectsBadInput(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// A source the front end rejects: 422 with positioned diagnostics.
+	resp, body := postJSON(t, ts.URL+"/v1/lint", LintRequest{Source: "processor X { reg A<7:0 }"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("unparsable source: status %d, want 422: %s", resp.StatusCode, body)
+	} else if e := decodeError(t, body); e.Kind != KindInput || len(e.Diagnostics) == 0 {
+		t.Errorf("want input diagnostics, got %s", body)
+	}
+	// Nothing to lint at all: 400.
+	resp, body = postJSON(t, ts.URL+"/v1/lint", LintRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty request: status %d, want 400: %s", resp.StatusCode, body)
+	}
+}
+
+func TestLintByteDeterministic(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := LintRequest{Name: "mark1.isps", Source: benchRequest(t, "mark1").Source, Rules: true}
+	_, first := postJSON(t, ts.URL+"/v1/lint", req)
+	_, second := postJSON(t, ts.URL+"/v1/lint", req)
+	if !bytes.Equal(first, second) {
+		t.Errorf("lint responses differ between identical requests:\n%s\nvs\n%s", first, second)
+	}
+}

@@ -16,6 +16,7 @@ type metrics struct {
 	synthesize atomic.Int64 // POST /v1/synthesize requests
 	batch      atomic.Int64 // POST /v1/batch requests
 	batchItems atomic.Int64 // individual sources across batch requests
+	lintReq    atomic.Int64 // POST /v1/lint requests
 	healthz    atomic.Int64
 	metricsReq atomic.Int64
 
@@ -133,6 +134,7 @@ type RequestCounts struct {
 	Synthesize int64 `json:"synthesize"`
 	Batch      int64 `json:"batch"`
 	BatchItems int64 `json:"batchItems"`
+	Lint       int64 `json:"lint"`
 	Explain    int64 `json:"explain"`
 	Healthz    int64 `json:"healthz"`
 	Metrics    int64 `json:"metrics"`
@@ -187,6 +189,7 @@ func (s *Server) Metrics() MetricsResponse {
 			Synthesize: m.synthesize.Load(),
 			Batch:      m.batch.Load(),
 			BatchItems: m.batchItems.Load(),
+			Lint:       m.lintReq.Load(),
 			Explain:    m.explainReq.Load(),
 			Healthz:    m.healthz.Load(),
 			Metrics:    m.metricsReq.Load(),

@@ -16,7 +16,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/flow"
+	"repro/internal/isps"
 )
 
 // Config sizes the daemon. The zero value serves with sane defaults.
@@ -122,6 +124,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/lint", s.handleLint)
 	mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
@@ -342,6 +345,85 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	s.writeJSON(w, http.StatusOK, BatchResponse{Results: items})
+}
+
+// handleLint runs the semantic linters without synthesizing: the ISPS
+// source lint behind `ispsfmt -lint` and/or the rule-base lint behind
+// `daa -lint-rules`. Lint work is admitted through the same bounded worker
+// pool as synthesis, so a corpus-triage client cannot starve interactive
+// requests. Findings are a verdict (200, clean=false); only sources the
+// front end rejects outright answer 422.
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	s.met.lintReq.Add(1)
+	id := requestID(r.Context())
+	if s.draining.Load() {
+		s.writeError(w, r, http.StatusServiceUnavailable, &ErrorResponse{
+			Error: "server is draining", Kind: KindShutdown, RequestID: id,
+		})
+		return
+	}
+	var req LintRequest
+	if errResp := s.decodeBody(w, r, &req); errResp != nil {
+		s.writeError(w, r, errResp.status, errResp.body)
+		return
+	}
+	if strings.TrimSpace(req.Source) == "" && !req.Rules {
+		s.writeError(w, r, http.StatusBadRequest, &ErrorResponse{
+			Error: "nothing to lint: supply source, rules, or both", Kind: KindRequest, RequestID: id,
+		})
+		return
+	}
+	if !s.admitN(1) {
+		s.writeError(w, r, http.StatusTooManyRequests, &ErrorResponse{
+			Error: "admission queue full, retry later", Kind: KindOverload, RequestID: id,
+		})
+		return
+	}
+	defer s.leave()
+	if err := s.acquire(r.Context()); err != nil {
+		out := s.ctxOutcome(err, id)
+		s.writeError(w, r, out.status, out.err)
+		return
+	}
+	defer s.release()
+
+	var resp LintResponse
+	if strings.TrimSpace(req.Source) != "" {
+		name := req.Name
+		if name == "" {
+			name = "input.isps"
+		}
+		in := flow.Input{Name: name, Source: req.Source}
+		prog, err := flow.Parse(r.Context(), in)
+		if err != nil {
+			out := s.errorOutcome(err, id)
+			s.writeError(w, r, out.status, out.err)
+			return
+		}
+		resp.Name = name
+		for _, d := range flow.LintDiagnostics(in, isps.Lint(prog)) {
+			resp.Findings = append(resp.Findings, Diagnostic{
+				File: d.Pos.File, Line: d.Pos.Line, Col: d.Pos.Col,
+				Stage: d.Stage, Msg: d.Msg, SrcLine: d.SrcLine,
+			})
+		}
+	}
+	if req.Rules {
+		kb := core.KnowledgeBase()
+		rb := &RuleBaseLint{Phases: len(core.PhaseOrder)}
+		for _, phase := range core.PhaseOrder {
+			rb.Rules += len(kb[phase])
+		}
+		for _, f := range core.LintKnowledgeBase() {
+			rb.Findings = append(rb.Findings, RuleBaseFinding{
+				Phase: f.Phase, Rule: f.Finding.Rule, Code: f.Finding.Code, Msg: f.Finding.Msg,
+			})
+		}
+		resp.RuleBase = rb
+	}
+	resp.Clean = len(resp.Findings) == 0 &&
+		(resp.RuleBase == nil || len(resp.RuleBase.Findings) == 0)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // handleExplain serves the provenance of a previously journaled design.
