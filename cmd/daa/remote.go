@@ -11,17 +11,17 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"os"
 	"strings"
-	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/flow"
 	"repro/internal/serve"
 )
@@ -105,38 +105,18 @@ func runRemote(w io.Writer, in flow.Input, o options) error {
 // shorten it.
 var retryBackoff = 200 * time.Millisecond
 
-// doIdempotent issues the request built by mk and retries exactly once,
-// after a short backoff, when the transport failed before the server
-// produced a response (connection refused or reset, socket dropped
-// mid-flight). Both daemon calls are safe to repeat: synthesize is a
-// cache-keyed pure computation and explain is a GET.
+// doIdempotent issues the request built by mk through the shared cluster
+// client: one retry after a short backoff when the transport failed
+// before the server produced a response, and a 429 with a short
+// Retry-After is waited out once. Both daemon calls are safe to repeat:
+// synthesize is a cache-keyed pure computation and explain is a GET.
 func doIdempotent(mk func() (*http.Request, error)) (*http.Response, error) {
-	req, err := mk()
-	if err != nil {
-		return nil, err
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err == nil || !transientConnErr(err) {
-		return resp, err
-	}
-	time.Sleep(retryBackoff)
-	req, err = mk()
-	if err != nil {
-		return nil, err
-	}
-	return http.DefaultClient.Do(req)
-}
-
-// transientConnErr reports whether err is a connection-level failure with
-// no response behind it — the only failures the client retries.
-func transientConnErr(err error) bool {
-	var ue *url.Error
-	if !errors.As(err, &ue) {
-		return false
-	}
-	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
-		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.ECONNREFUSED) ||
-		errors.Is(err, syscall.EPIPE)
+	c := cluster.NewClient(cluster.ClientConfig{
+		Attempts:    2,
+		BaseBackoff: retryBackoff,
+		Honor429:    true,
+	})
+	return c.Do(context.Background(), mk)
 }
 
 // postSynthesize sends one request to the daemon and maps error bodies

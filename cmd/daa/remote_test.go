@@ -99,6 +99,33 @@ func TestRemoteRetriesKilledConnection(t *testing.T) {
 	}
 }
 
+// TestRemoteHonorsRetryAfter: a daemon (or coordinator) shedding load
+// with 429 + a short Retry-After is waited out and the run completes.
+func TestRemoteHonorsRetryAfter(t *testing.T) {
+	inner := serve.New(serve.Config{}).Handler()
+	var shed atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if shed.CompareAndSwap(false, true) {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"queue full","kind":"overload"}`, http.StatusTooManyRequests)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	var sb strings.Builder
+	if err := run(&sb, options{benchName: "gcd", allocator: "daa", remote: ts.URL}); err != nil {
+		t.Fatalf("run did not survive one shed response: %v", err)
+	}
+	if !shed.Load() {
+		t.Fatal("test server never shed a request")
+	}
+	if !strings.Contains(sb.String(), "control steps:") {
+		t.Errorf("retried run produced no report:\n%s", sb.String())
+	}
+}
+
 // TestRemoteDoesNotRetryHTTPErrors pins the retry scope: a served error
 // response (here 404 for an unknown route) is returned, not retried.
 func TestRemoteDoesNotRetryHTTPErrors(t *testing.T) {

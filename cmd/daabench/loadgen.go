@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/flow"
 	"repro/internal/serve"
 )
@@ -28,6 +29,7 @@ type loadOptions struct {
 	concurrency int    // concurrent clients
 	requests    int    // total requests (cycled over the suite)
 	noCache     bool   // ask the daemon to bypass its design cache
+	cluster     bool   // target is a coordinator: report per-worker shard heat
 	asJSON      bool
 }
 
@@ -43,6 +45,19 @@ type LoadReport struct {
 	WallMS      float64        `json:"wallMs"`
 	Throughput  float64        `json:"throughputRPS"`
 	Latency     LatencyReport  `json:"latencyMs"`
+	// Workers is the client-observed per-worker split (X-DAAD-Worker /
+	// X-DAAD-Cache response headers), present with -cluster.
+	Workers map[string]WorkerLoad `json:"workers,omitempty"`
+	// Cluster is the coordinator's own /v1/cluster status after the run,
+	// present with -cluster.
+	Cluster *cluster.StatusResponse `json:"cluster,omitempty"`
+}
+
+// WorkerLoad is the load-generator's view of one shard.
+type WorkerLoad struct {
+	Requests  int64   `json:"requests"`
+	CacheHits int64   `json:"cacheHits"`
+	HitRate   float64 `json:"hitRate"`
 }
 
 // LatencyReport summarizes per-request latency in milliseconds.
@@ -88,6 +103,7 @@ func runLoadgen(w io.Writer, opts loadOptions) error {
 		mu        sync.Mutex
 		latencies []time.Duration
 		statuses  = map[string]int{}
+		workers   = map[string]WorkerLoad{}
 		errs      int
 	)
 	client := &http.Client{Timeout: 5 * time.Minute}
@@ -115,12 +131,21 @@ func runLoadgen(w io.Writer, opts loadOptions) error {
 					mu.Unlock()
 					continue
 				}
+				hit := resp.Header.Get("X-DAAD-Cache") == "hit"
 				statuses[resp.Status]++
 				if resp.StatusCode != http.StatusOK {
 					errs++
 				}
+				if wid := resp.Header.Get("X-DAAD-Worker"); wid != "" {
+					wl := workers[wid]
+					wl.Requests++
+					if hit {
+						wl.CacheHits++
+					}
+					workers[wid] = wl
+				}
 				mu.Unlock()
-				if resp.Header.Get("X-DAAD-Cache") == "hit" {
+				if hit {
 					cacheHits.Add(1)
 				}
 				io.Copy(io.Discard, resp.Body)
@@ -143,6 +168,20 @@ func runLoadgen(w io.Writer, opts loadOptions) error {
 		Throughput:  float64(opts.requests) / wall.Seconds(),
 		Latency:     summarize(latencies),
 	}
+	if opts.cluster {
+		for id, wl := range workers {
+			if wl.Requests > 0 {
+				wl.HitRate = float64(wl.CacheHits) / float64(wl.Requests)
+			}
+			workers[id] = wl
+		}
+		rep.Workers = workers
+		if status, err := fetchClusterStatus(base); err == nil {
+			rep.Cluster = status
+		} else {
+			fmt.Fprintf(w, "loadgen: /v1/cluster scrape failed: %v\n", err)
+		}
+	}
 	if opts.asJSON {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -154,18 +193,60 @@ func runLoadgen(w io.Writer, opts loadOptions) error {
 		rep.WallMS, rep.Throughput, rep.Errors, rep.CacheHits)
 	fmt.Fprintf(w, "  latency ms: mean %.2f  p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
 		rep.Latency.Mean, rep.Latency.P50, rep.Latency.P90, rep.Latency.P99, rep.Latency.Max)
+	if opts.cluster {
+		writeClusterSplit(w, rep)
+	}
 	if rep.Errors > 0 {
 		return fmt.Errorf("loadgen: %d of %d requests failed (%v)", rep.Errors, rep.Requests, statuses)
 	}
 	return nil
 }
 
-// waitHealthy polls /v1/healthz until the daemon answers, so loadgen can
-// start as soon as a freshly booted daad is up (the CI smoke path).
+// writeClusterSplit renders the per-worker shard heat: the load
+// generator's own observation (X-DAAD-Worker / X-DAAD-Cache headers) and
+// the coordinator's failover/transition counters.
+func writeClusterSplit(w io.Writer, rep LoadReport) {
+	ids := make([]string, 0, len(rep.Workers))
+	for id := range rep.Workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		wl := rep.Workers[id]
+		fmt.Fprintf(w, "  worker %-8s %5d requests  %5d cache hits  hit rate %.2f\n",
+			id, wl.Requests, wl.CacheHits, wl.HitRate)
+	}
+	if rep.Cluster != nil {
+		fmt.Fprintf(w, "  ring: %d members, %d failovers, %d transitions\n",
+			len(rep.Cluster.Ring.Members), rep.Cluster.Failovers, rep.Cluster.Transitions)
+	}
+}
+
+// fetchClusterStatus scrapes the coordinator's /v1/cluster after a run.
+func fetchClusterStatus(base string) (*cluster.StatusResponse, error) {
+	resp, err := http.Get(base + "/v1/cluster")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("HTTP %d (is -addr a coordinator?)", resp.StatusCode)
+	}
+	var out cluster.StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// waitHealthy polls the readiness probe until the daemon (or coordinator)
+// answers ready, so loadgen starts only once a freshly booted target is
+// warm and routable (the CI smoke path).
 func waitHealthy(base string, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
-		resp, err := http.Get(base + "/v1/healthz")
+		resp, err := http.Get(base + "/v1/healthz?ready=1")
 		if err == nil {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()

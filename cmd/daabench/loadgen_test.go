@@ -1,0 +1,90 @@
+package main
+
+// Loadgen tests against real serving stacks behind httptest: a single
+// daemon, and a coordinator over two workers with the -cluster report.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+func TestLoadgenSingleDaemon(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+
+	var sb strings.Builder
+	err := runLoadgen(&sb, loadOptions{addr: ts.URL, concurrency: 4, requests: 24, asJSON: true})
+	if err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, sb.String())
+	}
+	var rep LoadReport
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d errors: %v", rep.Errors, rep.StatusCount)
+	}
+	// 24 requests cycle the 9-benchmark suite: repeats must hit the cache.
+	if rep.CacheHits < 1 {
+		t.Errorf("cacheHits = %d, want > 0", rep.CacheHits)
+	}
+}
+
+func TestLoadgenClusterReport(t *testing.T) {
+	var peers []cluster.Peer
+	for i := 0; i < 2; i++ {
+		id := fmt.Sprintf("w%d", i)
+		ts := httptest.NewServer(serve.New(serve.Config{ID: id}).Handler())
+		defer ts.Close()
+		peers = append(peers, cluster.Peer{ID: id, URL: ts.URL})
+	}
+	co, err := cluster.New(cluster.Config{Peers: peers, ProbeInterval: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co.Start(context.Background())
+	front := httptest.NewServer(co.Handler())
+	defer front.Close()
+
+	var sb strings.Builder
+	err = runLoadgen(&sb, loadOptions{
+		addr: front.URL, concurrency: 4, requests: 24, cluster: true, asJSON: true,
+	})
+	if err != nil {
+		t.Fatalf("loadgen -cluster: %v\n%s", err, sb.String())
+	}
+	var rep LoadReport
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d errors: %v", rep.Errors, rep.StatusCount)
+	}
+	if len(rep.Workers) == 0 {
+		t.Fatal("no per-worker split in the -cluster report")
+	}
+	var hits int64
+	for id, wl := range rep.Workers {
+		if wl.Requests == 0 {
+			t.Errorf("worker %s reported with zero requests", id)
+		}
+		hits += wl.CacheHits
+	}
+	if hits < 1 {
+		t.Errorf("aggregate per-worker cache hits = %d, want > 0", hits)
+	}
+	if rep.Cluster == nil {
+		t.Fatal("no /v1/cluster status in the -cluster report")
+	}
+	if got := len(rep.Cluster.Ring.Members); got != 2 {
+		t.Errorf("scraped ring has %d members, want 2", got)
+	}
+}

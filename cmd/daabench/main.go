@@ -70,6 +70,7 @@ func main() {
 		clients   = flag.Int("c", 32, "concurrent clients for -loadgen")
 		requests  = flag.Int("n", 128, "total requests for -loadgen (cycled over the suite)")
 		noCache   = flag.Bool("no-cache", false, "ask the daemon to bypass its design cache (-loadgen)")
+		clusterFl = flag.Bool("cluster", false, "with -loadgen: -addr is a coordinator; report per-worker shard heat and failovers")
 	)
 	flag.Parse()
 	var err error
@@ -79,6 +80,7 @@ func main() {
 			concurrency: *clients,
 			requests:    *requests,
 			noCache:     *noCache,
+			cluster:     *clusterFl,
 			asJSON:      *asJSON,
 		})
 	} else {

@@ -1,0 +1,187 @@
+package main
+
+// Cluster boot modes. -cluster N is the smoke topology: one process
+// hosting N workers on loopback listeners behind a coordinator on -addr —
+// enough to exercise sharding, failover, and per-shard cache heat on one
+// machine (CI runs it under -race). -coordinator -peers a,b,c is the
+// production shape: the coordinator routes to daad workers started
+// elsewhere, each typically booted with -id and -warmup.
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/flow"
+	"repro/internal/serve"
+)
+
+// runCoordinator fronts external workers: probe, route, drain on signal.
+func runCoordinator(addr, peers string, drainTimeout, probeInterval time.Duration, logger *log.Logger) error {
+	peerList, err := parsePeers(peers)
+	if err != nil {
+		return err
+	}
+	co, err := cluster.New(cluster.Config{
+		Peers:         peerList,
+		ProbeInterval: probeInterval,
+		Logger:        logger,
+	})
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", addr, err)
+	}
+	co.Start(context.Background())
+	up := co.Ring().Len()
+	logger.Printf("coordinator on http://%s over %d workers (%d ready)", l.Addr(), len(peerList), up)
+	if up == 0 {
+		logger.Printf("no workers ready yet; routing resumes when probes succeed")
+	}
+	return serveUntilSignal(logger, drainTimeout, func() error { return co.Serve(l) }, co.Shutdown)
+}
+
+// smokeCluster is a booted -cluster N topology: the coordinator, its
+// listener, and the worker pool, with a drain that takes them down in
+// routing order.
+type smokeCluster struct {
+	co       *cluster.Coordinator
+	listener net.Listener
+	workers  []*serve.Server
+}
+
+// shutdown drains in routing order: the coordinator stops accepting and
+// finishes forwarding first, then the workers drain their in-flight
+// syntheses in parallel.
+func (sc *smokeCluster) shutdown(ctx context.Context) error {
+	if err := sc.co.Shutdown(ctx); err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(sc.workers))
+	for i, s := range sc.workers {
+		wg.Add(1)
+		go func(i int, s *serve.Server) {
+			defer wg.Done()
+			errs[i] = s.Shutdown(ctx)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bootSmokeCluster starts n workers on loopback listeners and a started
+// (probing) coordinator listening on addr. The caller serves
+// sc.co.Serve(sc.listener) and drains with sc.shutdown.
+func bootSmokeCluster(addr string, n int, cfg serve.Config, probeInterval time.Duration) (*smokeCluster, error) {
+	if n > 64 {
+		return nil, flow.Usagef("-cluster %d: more than 64 in-process workers is not a smoke test", n)
+	}
+	logger := cfg.Logger
+	sc := &smokeCluster{}
+	var peers []cluster.Peer
+	for i := 0; i < n; i++ {
+		wcfg := cfg
+		wcfg.ID = fmt.Sprintf("w%d", i)
+		wcfg.Logger = log.New(logger.Writer(), fmt.Sprintf("daad[%s] ", wcfg.ID), logger.Flags())
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("worker %s listen: %w", wcfg.ID, err)
+		}
+		s := serve.New(wcfg)
+		sc.workers = append(sc.workers, s)
+		peers = append(peers, cluster.Peer{ID: wcfg.ID, URL: "http://" + l.Addr().String()})
+		go s.Serve(l)
+		logger.Printf("worker %s on http://%s", wcfg.ID, l.Addr())
+	}
+	co, err := cluster.New(cluster.Config{
+		Peers:         peers,
+		ProbeInterval: probeInterval,
+		Logger:        logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %s: %w", addr, err)
+	}
+	co.Start(context.Background())
+	sc.co, sc.listener = co, l
+	logger.Printf("coordinator on http://%s over %d in-process workers", l.Addr(), n)
+	return sc, nil
+}
+
+// runSmokeCluster boots n in-process workers on loopback listeners and a
+// coordinator over them on addr.
+func runSmokeCluster(addr string, n int, cfg serve.Config, drainTimeout, probeInterval time.Duration) error {
+	sc, err := bootSmokeCluster(addr, n, cfg, probeInterval)
+	if err != nil {
+		return err
+	}
+	return serveUntilSignal(cfg.Logger, drainTimeout, func() error { return sc.co.Serve(sc.listener) }, sc.shutdown)
+}
+
+// serveUntilSignal runs serve and drains via shutdown on SIGINT/SIGTERM,
+// the shared tail of every boot mode.
+func serveUntilSignal(logger *log.Logger, drainTimeout time.Duration, serveFn func() error, shutdown func(context.Context) error) error {
+	errc := make(chan error, 1)
+	go func() { errc <- serveFn() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		logger.Printf("received %v, draining (timeout %v)", sig, drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := shutdown(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		if err := <-errc; err != nil && err != http.ErrServerClosed {
+			return err
+		}
+		logger.Printf("drained, exiting")
+		return nil
+	}
+}
+
+// parsePeers splits the -peers list, defaulting bare host:port entries to
+// http. IDs are the entries as written, so X-DAAD-Worker matches the
+// operator's own naming.
+func parsePeers(peers string) ([]cluster.Peer, error) {
+	var out []cluster.Peer
+	for _, raw := range strings.Split(peers, ",") {
+		entry := strings.TrimSpace(raw)
+		if entry == "" {
+			continue
+		}
+		u := entry
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		out = append(out, cluster.Peer{ID: entry, URL: u})
+	}
+	if len(out) == 0 {
+		return nil, flow.Usagef("-coordinator needs -peers host:port[,host:port...]")
+	}
+	return out, nil
+}

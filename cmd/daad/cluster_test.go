@@ -1,0 +1,98 @@
+package main
+
+// Tests of the cluster boot modes: the -cluster N smoke topology end to
+// end over real TCP, and -peers parsing.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/flow"
+	"repro/internal/serve"
+)
+
+func TestSmokeClusterEndToEnd(t *testing.T) {
+	cfg := serve.Config{Logger: log.New(io.Discard, "", 0)}
+	sc, err := bootSmokeCluster("127.0.0.1:0", 3, cfg, 25*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go sc.co.Serve(sc.listener)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := sc.shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	base := "http://" + sc.listener.Addr().String()
+
+	src, err := bench.Source("gcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(serve.SynthesizeRequest{Name: "gcd.isps", Source: src})
+	var worker string
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(base+"/v1/synthesize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("synthesize %d: %s", resp.StatusCode, raw)
+		}
+		got := resp.Header.Get("X-DAAD-Worker")
+		if i == 0 {
+			worker = got
+		} else if got != worker {
+			t.Errorf("repeat routed to %s, first to %s", got, worker)
+		} else if c := resp.Header.Get("X-DAAD-Cache"); c != "hit" {
+			t.Errorf("repeat on the same shard was %q, want hit", c)
+		}
+	}
+
+	resp, err := http.Get(base + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var status cluster.StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(status.Ring.Members); got != 3 {
+		t.Errorf("ring has %d members, want 3", got)
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers(" hostA:8547, http://hostB:9000 ,,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []cluster.Peer{
+		{ID: "hostA:8547", URL: "http://hostA:8547"},
+		{ID: "http://hostB:9000", URL: "http://hostB:9000"},
+	}
+	if len(peers) != len(want) {
+		t.Fatalf("parsed %d peers, want %d: %v", len(peers), len(want), peers)
+	}
+	for i := range want {
+		if peers[i] != want[i] {
+			t.Errorf("peer %d = %+v, want %+v", i, peers[i], want[i])
+		}
+	}
+	if _, err := parsePeers(" ,, "); flow.ExitCode(err) != flow.ExitUsage {
+		t.Errorf("empty -peers: %v, want usage error", err)
+	}
+}

@@ -11,13 +11,18 @@
 //	daad                          serve on :8547 with defaults
 //	daad -addr :9000 -workers 8   bind elsewhere, bound the pool
 //	daad -queue 128 -cache 1024   deeper admission queue, bigger cache
+//	daad -id w3 -warmup           name the worker, warm before ready
+//	daad -cluster 3               coordinator + 3 in-process workers
+//	daad -coordinator -peers host1:8547,host2:8547
 //
 // Endpoints (see internal/serve): POST /v1/synthesize, POST /v1/batch,
 // POST /v1/lint, GET /v1/explain, GET /v1/healthz, GET /v1/metrics.
+// Cluster modes add GET /v1/cluster (see internal/cluster).
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: new work is refused
 // with 503 while in-flight syntheses run to completion, bounded by
-// -drain-timeout.
+// -drain-timeout. In cluster modes the coordinator drains first, then
+// the workers.
 package main
 
 import (
@@ -26,11 +31,8 @@ import (
 	"fmt"
 	"log"
 	"net"
-	"net/http"
 	"os"
-	"os/signal"
 	"runtime"
-	"syscall"
 	"time"
 
 	"repro/internal/flow"
@@ -49,9 +51,17 @@ func main() {
 		maxDeadline  = flag.Duration("max-deadline", 5*time.Minute, "clamp on client-supplied deadlines")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound for in-flight work")
 		parallel     = flag.Int("parallel-match", 0, "shard Rete beta propagation across this many workers per synthesis (0 = serial)")
+
+		id            = flag.String("id", "", "worker identity reported in X-DAAD-Worker")
+		warmup        = flag.Bool("warmup", false, "synthesize a small benchmark before reporting ready")
+		clusterN      = flag.Int("cluster", 0, "boot a coordinator on -addr over this many in-process workers (smoke mode)")
+		coordinator   = flag.Bool("coordinator", false, "route to external workers listed in -peers instead of synthesizing")
+		peers         = flag.String("peers", "", "comma-separated worker addresses for -coordinator (host:port or full URLs)")
+		probeInterval = flag.Duration("probe-interval", 500*time.Millisecond, "readiness-probe spacing per worker (cluster modes)")
 	)
 	flag.Parse()
-	if err := run(*addr, serve.Config{
+	cfg := serve.Config{
+		ID:                *id,
 		Workers:           *workers,
 		QueueDepth:        *queue,
 		CacheEntries:      *cacheN,
@@ -61,41 +71,44 @@ func main() {
 		MaxDeadline:       *maxDeadline,
 		ParallelMatch:     *parallel,
 		Logger:            log.New(os.Stderr, "daad ", log.LstdFlags|log.Lmicroseconds),
-	}, *drainTimeout); err != nil {
+	}
+	var err error
+	switch {
+	case *clusterN > 0 && *coordinator:
+		err = flow.Usagef("-cluster and -coordinator are exclusive: the former boots its own workers")
+	case *clusterN > 0:
+		err = runSmokeCluster(*addr, *clusterN, cfg, *drainTimeout, *probeInterval)
+	case *coordinator:
+		err = runCoordinator(*addr, *peers, *drainTimeout, *probeInterval, cfg.Logger)
+	default:
+		err = run(*addr, cfg, *drainTimeout, *warmup)
+	}
+	if err != nil {
 		flow.WriteError(os.Stderr, "daad", err)
 		os.Exit(flow.ExitCode(err))
 	}
 }
 
-func run(addr string, cfg serve.Config, drainTimeout time.Duration) error {
+func run(addr string, cfg serve.Config, drainTimeout time.Duration, warmup bool) error {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", addr, err)
 	}
 	s := serve.New(cfg)
-	cfg.Logger.Printf("listening on http://%s (workers=%d queue=%d)", l.Addr(), effectiveWorkers(cfg), cfg.QueueDepth)
-
-	errc := make(chan error, 1)
-	go func() { errc <- s.Serve(l) }()
-
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errc:
-		return err
-	case sig := <-sigc:
-		cfg.Logger.Printf("received %v, draining (timeout %v)", sig, drainTimeout)
-		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
-		defer cancel()
-		if err := s.Shutdown(ctx); err != nil {
-			return fmt.Errorf("drain: %w", err)
-		}
-		if err := <-errc; err != nil && err != http.ErrServerClosed {
-			return err
-		}
-		cfg.Logger.Printf("drained, exiting")
-		return nil
+	if warmup {
+		// Serve while warming — liveness stays up and early requests are
+		// answered — but fail readiness so routers wait for a hot worker.
+		s.SetReady(false)
+		go func() {
+			if err := s.Warm(context.Background()); err != nil {
+				cfg.Logger.Printf("warmup failed (serving anyway): %v", err)
+			}
+			s.SetReady(true)
+			cfg.Logger.Printf("warm, reporting ready")
+		}()
 	}
+	cfg.Logger.Printf("listening on http://%s (workers=%d queue=%d)", l.Addr(), effectiveWorkers(cfg), cfg.QueueDepth)
+	return serveUntilSignal(cfg.Logger, drainTimeout, func() error { return s.Serve(l) }, s.Shutdown)
 }
 
 func effectiveWorkers(cfg serve.Config) int {

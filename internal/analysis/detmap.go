@@ -36,15 +36,16 @@ var Detmap = &Analyzer{
 // file names ("" key means the whole package). Fixture packages (paths
 // outside repro) are always in scope.
 var detmapPackages = map[string][]string{
-	"repro/internal/prod":  nil, // whole package: match order is the firing order
-	"repro/internal/core":  nil, // whole package: rule actions feed the journal
-	"repro/internal/flow":  {"key.go", "cosim.go"},
-	"repro/internal/serve": {"render.go", "explain.go"},
+	"repro/internal/prod":    nil, // whole package: match order is the firing order
+	"repro/internal/core":    nil, // whole package: rule actions feed the journal
+	"repro/internal/flow":    {"key.go", "cosim.go"},
+	"repro/internal/serve":   {"render.go", "explain.go", "shard.go"},
+	"repro/internal/cluster": {"ring.go"}, // ring construction and lookup order must be stable across coordinators
 }
 
 // clockFiles names the file-name substrings where the wall-clock and
 // randomness check applies: the record/replay and canonical-output files.
-var clockFiles = []string{"journal", "replay", "wire", "provenance", "key", "render", "explain", "cosim"}
+var clockFiles = []string{"journal", "replay", "wire", "provenance", "key", "render", "explain", "cosim", "ring", "shard"}
 
 // detmapRangeScoped reports whether the map-range check covers file.
 func detmapRangeScoped(pkgPath, file string) bool {

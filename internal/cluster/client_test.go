@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func getVia(t *testing.T, c *Client, url string) *http.Response {
+	t.Helper()
+	resp, err := c.Do(context.Background(), func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, url, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestClientRetriesKilledConnection: a connection dropped before any
+// response bytes is retried within the attempt bound.
+func TestClientRetriesKilledConnection(t *testing.T) {
+	var killed atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if killed.CompareAndSwap(false, true) {
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err != nil {
+				t.Errorf("hijack: %v", err)
+				return
+			}
+			conn.Close()
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	c := NewClient(ClientConfig{BaseBackoff: time.Millisecond, JitterSeed: 1})
+	resp := getVia(t, c, ts.URL)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d after retry, want 200", resp.StatusCode)
+	}
+	if !killed.Load() {
+		t.Fatal("server never killed a connection")
+	}
+}
+
+// TestClientDoesNotRetryServedErrors: an HTTP error response is a result,
+// not a transport failure.
+func TestClientDoesNotRetryServedErrors(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "nope", http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	c := NewClient(ClientConfig{BaseBackoff: time.Millisecond, JitterSeed: 1})
+	resp := getVia(t, c, ts.URL)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d, want 404", resp.StatusCode)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("served error was retried: %d requests, want 1", got)
+	}
+}
+
+// TestClientHonors429RetryAfter: with Honor429 on, one shed response with
+// a short Retry-After is waited out and retried — without consuming the
+// transport-retry budget.
+func TestClientHonors429RetryAfter(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	c := NewClient(ClientConfig{BaseBackoff: time.Millisecond, JitterSeed: 1, Honor429: true})
+	resp := getVia(t, c, ts.URL)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d after honored Retry-After, want 200", resp.StatusCode)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Errorf("%d requests, want 2", got)
+	}
+}
+
+// TestClientReturns429BeyondMaxWait: a Retry-After longer than the cap is
+// surfaced, not slept on.
+func TestClientReturns429BeyondMaxWait(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "3600")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := NewClient(ClientConfig{BaseBackoff: time.Millisecond, JitterSeed: 1, Honor429: true})
+	resp := getVia(t, c, ts.URL)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("status %d, want the 429 surfaced", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3600" {
+		t.Errorf("Retry-After %q not preserved", got)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("%d requests, want 1", got)
+	}
+}
+
+// TestClientAttemptBound: a permanently refused target fails after the
+// configured attempts, not forever.
+func TestClientAttemptBound(t *testing.T) {
+	c := NewClient(ClientConfig{Attempts: 3, BaseBackoff: time.Millisecond, JitterSeed: 1})
+	_, err := c.Do(context.Background(), func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, "http://127.0.0.1:1/nothing", nil)
+	})
+	if err == nil {
+		t.Fatal("expected an error from a refused port")
+	}
+	if !TransientConnErr(err) {
+		t.Errorf("final error %v is not the transport failure", err)
+	}
+}

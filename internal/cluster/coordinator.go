@@ -1,0 +1,653 @@
+// Package cluster is the sharded synthesis tier in front of N daad
+// workers (internal/serve): a coordinator that routes every request to
+// the worker owning its shard, so each worker's LRU design cache and
+// explain store stay hot on a stable slice of the keyspace.
+//
+// Routing is a consistent hash of the request's canonical identity —
+// (source content hash, canonical option key), the exact key the worker
+// caches and journals under — over a ring of health-checked members.
+// Membership is probed through the workers' readiness endpoint
+// (/v1/healthz?ready=1) with hysteresis, so draining or warming workers
+// leave the ring before their listeners disappear and in-flight requests
+// are never dropped by a rebuild (rings swap copy-on-write). Idempotent
+// requests — all of them: the API is pure computation plus GETs — fail
+// over in ring order onto the next peer when a worker dies between
+// probes, and /v1/batch scatter-gathers sub-batches across shards,
+// reassembling results in request order. The coordinator exposes the same
+// /v1 surface as a single daad, plus /v1/cluster for membership status
+// and per-shard cache heat.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/url"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Config shapes a Coordinator. Peers is required; everything else
+// defaults sanely.
+type Config struct {
+	// Peers are the workers fronted by this coordinator. IDs must be
+	// distinct; empty IDs default to the URL.
+	Peers []Peer
+	// ProbeInterval spaces readiness probes per peer (default 500ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe (default 2s).
+	ProbeTimeout time.Duration
+	// UpAfter is the consecutive probe successes a down peer needs to enter
+	// the ring (default 1); DownAfter the consecutive failures an up peer
+	// needs to leave it (default 2).
+	UpAfter   int
+	DownAfter int
+	// MaxFailover bounds how many ring candidates one request may try
+	// (default: every member).
+	MaxFailover int
+	// MaxBodyBytes limits request bodies (default 8 MiB — batches carry
+	// many sources).
+	MaxBodyBytes int64
+	// MaxBatch bounds sources per batch request (default 256, mirroring the
+	// workers).
+	MaxBatch int
+	// Client overrides the forwarding client (default: one attempt per
+	// peer — ring failover is the retry, so a per-peer backoff would only
+	// add latency in front of a live successor).
+	Client *Client
+	// Logger receives one line per request and membership transition.
+	// Nil discards logs (tests).
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.UpAfter <= 0 {
+		c.UpAfter = 1
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 2
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.Client == nil {
+		// A dedicated transport, not the global pool: Shutdown closes its
+		// idle connections without disturbing unrelated clients.
+		c.Client = NewClient(ClientConfig{
+			Attempts: 1,
+			HTTP:     &http.Client{Transport: http.DefaultTransport.(*http.Transport).Clone()},
+		})
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(io.Discard, "", 0)
+	}
+	return c
+}
+
+// Coordinator is the router process: health-checked membership, the
+// consistent-hash ring, peer forwarding with failover, scatter-gather
+// batching, and the rollup endpoints.
+type Coordinator struct {
+	cfg         Config
+	peers       []*peerState // configured order, fixed for the lifetime
+	byID        map[string]*peerState
+	ring        atomic.Pointer[Ring]
+	probeClient *http.Client
+	met         coordMetrics
+	start       time.Time
+
+	reqSeq   atomic.Int64
+	draining atomic.Bool
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	http     http.Server
+}
+
+// New builds a Coordinator over cfg.Peers. Call Start to begin probing,
+// Serve to accept traffic, Shutdown to drain.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("cluster: coordinator needs at least one peer")
+	}
+	co := &Coordinator{
+		cfg:  cfg,
+		byID: map[string]*peerState{},
+		probeClient: &http.Client{
+			Timeout:   cfg.ProbeTimeout,
+			Transport: http.DefaultTransport.(*http.Transport).Clone(),
+		},
+		start: time.Now(),
+		stop:  make(chan struct{}),
+	}
+	for _, p := range cfg.Peers {
+		id := p.ID
+		if id == "" {
+			id = p.URL
+		}
+		if _, dup := co.byID[id]; dup {
+			return nil, fmt.Errorf("cluster: duplicate peer ID %q", id)
+		}
+		ps := &peerState{id: id, base: trimSlash(p.URL)}
+		co.peers = append(co.peers, ps)
+		co.byID[id] = ps
+	}
+	co.ring.Store(NewRing(nil))
+	co.http.Handler = co.Handler()
+	return co, nil
+}
+
+// Start runs one synchronous probe round — so a cluster whose workers are
+// already listening routes from the first request — then launches the
+// per-peer probe loops. ctx is the coordinator's lifecycle: probing stops
+// when it ends (Shutdown stops it too).
+func (co *Coordinator) Start(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, p := range co.peers {
+		wg.Add(1)
+		go func(p *peerState) {
+			defer wg.Done()
+			if co.probePeer(ctx, p) {
+				p.probeOK.Add(1)
+				p.up.Store(true)
+			} else {
+				p.probeFail.Add(1)
+			}
+		}(p)
+	}
+	wg.Wait()
+	co.rebuildRing()
+	for _, p := range co.peers {
+		co.wg.Add(1)
+		go co.probeLoop(ctx, p)
+	}
+}
+
+// Serve accepts connections on l until Shutdown.
+func (co *Coordinator) Serve(l net.Listener) error { return co.http.Serve(l) }
+
+// Shutdown drains the coordinator: probing stops, new work is refused
+// with 503, and in-flight forwards run to completion (or ctx expiry).
+func (co *Coordinator) Shutdown(ctx context.Context) error {
+	co.draining.Store(true)
+	co.stopOnce.Do(func() { close(co.stop) })
+	co.wg.Wait()
+	err := co.http.Shutdown(ctx)
+	// Release pooled worker connections so workers shutting down after the
+	// coordinator drain immediately instead of waiting out parked sockets.
+	co.cfg.Client.CloseIdleConnections()
+	co.probeClient.CloseIdleConnections()
+	return err
+}
+
+// Ring returns the current ring snapshot (tests and status rendering).
+func (co *Coordinator) Ring() *Ring { return co.ring.Load() }
+
+// Handler returns the coordinator's full HTTP handler.
+func (co *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/synthesize", co.handleSynthesize)
+	mux.HandleFunc("POST /v1/batch", co.handleBatch)
+	mux.HandleFunc("POST /v1/lint", co.handleLint)
+	mux.HandleFunc("GET /v1/explain", co.handleExplain)
+	mux.HandleFunc("GET /v1/healthz", co.handleHealthz)
+	mux.HandleFunc("GET /v1/metrics", co.handleMetrics)
+	mux.HandleFunc("GET /v1/cluster", co.handleCluster)
+	return co.middleware(mux)
+}
+
+func (co *Coordinator) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("c-%06d", co.reqSeq.Add(1))
+		w.Header().Set("X-DAAD-Route", id)
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler {
+					panic(p)
+				}
+				co.cfg.Logger.Printf("%s PANIC %s %s: %v\n%s", id, r.Method, r.URL.Path, p, debug.Stack())
+				if sw.status == 0 {
+					co.writeError(sw, http.StatusInternalServerError, &serve.ErrorResponse{
+						Error: fmt.Sprintf("internal error: %v", p), Kind: serve.KindInternal, RequestID: id,
+					})
+				}
+			}
+			switch {
+			case sw.status >= 500:
+				co.met.err5xx.Add(1)
+			case sw.status >= 400:
+				co.met.err4xx.Add(1)
+			default:
+				co.met.ok2xx.Add(1)
+			}
+			co.cfg.Logger.Printf("%s %s %s -> %d (%v)", id, r.Method, r.URL.Path, sw.status, time.Since(t0).Round(time.Microsecond))
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// statusWriter mirrors serve's: capture the status for the class counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// ---------------------------------------------------------------------------
+// Routed endpoints.
+
+func (co *Coordinator) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	co.met.synthesize.Add(1)
+	if co.refuseDraining(w) {
+		return
+	}
+	body, ok := co.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req serve.SynthesizeRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		co.writeError(w, http.StatusBadRequest, &serve.ErrorResponse{
+			Error: fmt.Sprintf("malformed request: %v", err), Kind: serve.KindRequest,
+		})
+		return
+	}
+	key, err := req.ShardKey()
+	if err != nil {
+		co.writeError(w, http.StatusBadRequest, &serve.ErrorResponse{
+			Error: err.Error(), Kind: serve.KindRequest,
+		})
+		return
+	}
+	co.route(w, r, http.MethodPost, "/v1/synthesize", nil, body, key)
+}
+
+func (co *Coordinator) handleLint(w http.ResponseWriter, r *http.Request) {
+	co.met.lint.Add(1)
+	if co.refuseDraining(w) {
+		return
+	}
+	body, ok := co.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req serve.LintRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		co.writeError(w, http.StatusBadRequest, &serve.ErrorResponse{
+			Error: fmt.Sprintf("malformed request: %v", err), Kind: serve.KindRequest,
+		})
+		return
+	}
+	co.route(w, r, http.MethodPost, "/v1/lint", nil, body, req.ShardKey())
+}
+
+// handleExplain routes by the raw provenance key, which equals the shard
+// key of the synthesize request that journaled the design — so the lookup
+// lands on the worker holding the explain store entry.
+func (co *Coordinator) handleExplain(w http.ResponseWriter, r *http.Request) {
+	co.met.explain.Add(1)
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		co.writeError(w, http.StatusBadRequest, &serve.ErrorResponse{
+			Error: "missing key parameter (from the synthesize response's provenance.key)",
+			Kind:  serve.KindRequest,
+		})
+		return
+	}
+	co.route(w, r, http.MethodGet, "/v1/explain", r.URL.Query(), nil, key)
+}
+
+// route forwards one request to the worker owning key, failing over in
+// ring order on transport failures and worker-drain 503s. The response —
+// success or served error — streams back with the shard-identity headers
+// (X-DAAD-Worker, X-DAAD-Cache) and Retry-After intact.
+func (co *Coordinator) route(w http.ResponseWriter, r *http.Request, method, path string, query url.Values, body []byte, key string) {
+	resp, peer, err := co.forward(r.Context(), method, path, query, body, key)
+	if err != nil {
+		co.writeRouteError(w, r, err)
+		return
+	}
+	defer resp.Body.Close()
+	co.observeResponse(peer, resp)
+	copyHeaders(w, resp)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// errNoWorkers reports an empty ring.
+var errNoWorkers = errors.New("cluster: no ready workers in the ring")
+
+// forward tries each ring candidate for key, in order, until one answers.
+// A transport failure or a drain 503 moves to the next candidate and
+// counts a failover against the peer that failed; any other response —
+// including served errors like 422 diagnostics or 429 shedding — is the
+// answer. The ring snapshot is taken once, so a concurrent rebuild cannot
+// reorder this request's candidates mid-flight.
+func (co *Coordinator) forward(ctx context.Context, method, path string, query url.Values, body []byte, key string) (*http.Response, *peerState, error) {
+	candidates := co.ring.Load().Lookup(key)
+	if len(candidates) == 0 {
+		co.met.unrouted.Add(1)
+		return nil, nil, errNoWorkers
+	}
+	if co.cfg.MaxFailover > 0 && len(candidates) > co.cfg.MaxFailover {
+		candidates = candidates[:co.cfg.MaxFailover]
+	}
+	var lastErr error
+	for hop, id := range candidates {
+		peer := co.byID[id]
+		target := peer.base + path
+		if len(query) > 0 {
+			target += "?" + query.Encode()
+		}
+		resp, err := co.cfg.Client.Do(ctx, func() (*http.Request, error) {
+			req, err := http.NewRequest(method, target, bytes.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			if body != nil {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			return req, nil
+		})
+		switch {
+		case err == nil && resp.StatusCode == http.StatusServiceUnavailable && hop < len(candidates)-1:
+			// The worker is draining (or shedding a dying connection): its
+			// successor owns the shard next, so spend a failover on it.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			peer.failovers.Add(1)
+			co.met.failovers.Add(1)
+			lastErr = fmt.Errorf("peer %s: HTTP 503", id)
+			continue
+		case err == nil:
+			if hop > 0 {
+				co.cfg.Logger.Printf("failover: %s served key owned by %s", id, candidates[0])
+			}
+			return resp, peer, nil
+		case TransientConnErr(err):
+			peer.failovers.Add(1)
+			co.met.failovers.Add(1)
+			lastErr = fmt.Errorf("peer %s: %w", id, err)
+			continue
+		default:
+			return nil, nil, err // context cancellation, malformed target…
+		}
+	}
+	co.met.unrouted.Add(1)
+	return nil, nil, fmt.Errorf("cluster: all %d candidates failed: %w", len(candidates), lastErr)
+}
+
+// observeResponse folds a forwarded response into the peer's counters.
+func (co *Coordinator) observeResponse(peer *peerState, resp *http.Response) {
+	peer.requests.Add(1)
+	switch resp.Header.Get("X-DAAD-Cache") {
+	case "hit":
+		peer.cacheHits.Add(1)
+	case "miss":
+		peer.cacheMisses.Add(1)
+	}
+}
+
+// copyHeaders propagates the response headers a caller can act on: the
+// body type, the shard identity pair (which worker served it, whether it
+// was a cache hit), the worker-side request ID, and Retry-After on 429
+// shedding — forwarded, not swallowed, so the client backs off instead of
+// re-hammering an overloaded shard through the router.
+func copyHeaders(w http.ResponseWriter, resp *http.Response) {
+	for _, h := range []string{"Content-Type", "X-DAAD-Cache", "X-DAAD-Worker", "X-DAAD-Request", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scatter-gather batch.
+
+func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
+	co.met.batch.Add(1)
+	if co.refuseDraining(w) {
+		return
+	}
+	body, ok := co.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req serve.BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		co.writeError(w, http.StatusBadRequest, &serve.ErrorResponse{
+			Error: fmt.Sprintf("malformed request: %v", err), Kind: serve.KindRequest,
+		})
+		return
+	}
+	n := len(req.Requests)
+	if n == 0 {
+		co.writeError(w, http.StatusBadRequest, &serve.ErrorResponse{
+			Error: "batch carries no requests", Kind: serve.KindRequest,
+		})
+		return
+	}
+	if n > co.cfg.MaxBatch {
+		co.writeError(w, http.StatusBadRequest, &serve.ErrorResponse{
+			Error: fmt.Sprintf("batch of %d exceeds the %d-source limit", n, co.cfg.MaxBatch),
+			Kind:  serve.KindRequest,
+		})
+		return
+	}
+	co.met.batchItems.Add(int64(n))
+
+	// Scatter: group items by shard owner under one ring snapshot. Items
+	// whose options cannot be canonicalized still route — by content hash
+	// alone — so the owning worker renders the canonical per-item error.
+	ring := co.ring.Load()
+	if ring.Len() == 0 {
+		co.met.unrouted.Add(1)
+		co.writeError(w, http.StatusServiceUnavailable, &serve.ErrorResponse{
+			Error: errNoWorkers.Error(), Kind: serve.KindUnavailable,
+		})
+		return
+	}
+	type group struct {
+		key     string // first item's shard key: failover order for the group
+		indices []int  // original slots, ascending
+	}
+	groups := map[string]*group{}
+	for i, item := range req.Requests {
+		key, err := item.ShardKey()
+		if err != nil {
+			key = fmt.Sprintf("%x|invalid", item.Name)
+		}
+		owner := ring.Owner(key)
+		g, ok := groups[owner]
+		if !ok {
+			g = &group{key: key}
+			groups[owner] = g
+		}
+		g.indices = append(g.indices, i)
+	}
+
+	// Gather: one sub-batch per owner, concurrently, reassembled into the
+	// original slots so the response order matches the request order no
+	// matter which shard answered first.
+	items := make([]serve.BatchItem, n)
+	var wg sync.WaitGroup
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g *group) {
+			defer wg.Done()
+			sub := serve.BatchRequest{Requests: make([]serve.SynthesizeRequest, len(g.indices))}
+			for j, idx := range g.indices {
+				sub.Requests[j] = req.Requests[idx]
+			}
+			subBody, err := json.Marshal(sub)
+			if err != nil {
+				co.fillGroupError(items, g.indices, err)
+				return
+			}
+			resp, peer, err := co.forward(r.Context(), http.MethodPost, "/v1/batch", nil, subBody, g.key)
+			if err != nil {
+				co.fillGroupError(items, g.indices, err)
+				return
+			}
+			defer resp.Body.Close()
+			co.observeResponse(peer, resp)
+			raw, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+			if err != nil {
+				co.fillGroupError(items, g.indices, err)
+				return
+			}
+			var out serve.BatchResponse
+			if resp.StatusCode != http.StatusOK || json.Unmarshal(raw, &out) != nil || len(out.Results) != len(g.indices) {
+				co.fillGroupError(items, g.indices,
+					fmt.Errorf("peer %s: unusable sub-batch response (HTTP %d)", peer.id, resp.StatusCode))
+				return
+			}
+			for j, idx := range g.indices {
+				items[idx] = out.Results[j]
+			}
+		}(g)
+	}
+	wg.Wait()
+	co.writeJSON(w, http.StatusOK, serve.BatchResponse{Results: items})
+}
+
+// fillGroupError marks every slot of a failed sub-batch unavailable.
+func (co *Coordinator) fillGroupError(items []serve.BatchItem, indices []int, err error) {
+	for _, idx := range indices {
+		items[idx] = serve.BatchItem{Error: &serve.ErrorResponse{
+			Error: err.Error(), Kind: serve.KindUnavailable,
+		}}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator-local endpoints and plumbing.
+
+func (co *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	co.met.healthz.Add(1)
+	up := 0
+	for _, p := range co.peers {
+		if p.up.Load() {
+			up++
+		}
+	}
+	status := "ok"
+	ready := true
+	switch {
+	case co.draining.Load():
+		status, ready = "draining", false
+	case up == 0:
+		status, ready = "no-workers", false
+	}
+	code := http.StatusOK
+	if r.URL.Query().Get("ready") != "" && !ready {
+		code = http.StatusServiceUnavailable
+	}
+	co.writeJSON(w, code, HealthResponse{
+		Status: status, Ready: ready, Role: "coordinator",
+		PeersUp: up, PeersKnown: len(co.peers),
+	})
+}
+
+// refuseDraining sheds new routed work during drain.
+func (co *Coordinator) refuseDraining(w http.ResponseWriter) bool {
+	if !co.draining.Load() {
+		return false
+	}
+	co.writeError(w, http.StatusServiceUnavailable, &serve.ErrorResponse{
+		Error: "coordinator is draining", Kind: serve.KindShutdown,
+	})
+	return true
+}
+
+// readBody reads the size-limited request body.
+func (co *Coordinator) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, co.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			co.writeError(w, http.StatusRequestEntityTooLarge, &serve.ErrorResponse{
+				Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+				Kind:  serve.KindRequest,
+			})
+			return nil, false
+		}
+		co.writeError(w, http.StatusBadRequest, &serve.ErrorResponse{
+			Error: fmt.Sprintf("reading request: %v", err), Kind: serve.KindRequest,
+		})
+		return nil, false
+	}
+	return body, true
+}
+
+// writeRouteError maps a forwarding failure onto the wire taxonomy.
+func (co *Coordinator) writeRouteError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		co.writeError(w, http.StatusServiceUnavailable, &serve.ErrorResponse{
+			Error: "request canceled", Kind: serve.KindCanceled,
+		})
+	default:
+		co.writeError(w, http.StatusServiceUnavailable, &serve.ErrorResponse{
+			Error: err.Error(), Kind: serve.KindUnavailable,
+		})
+	}
+}
+
+func (co *Coordinator) writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
+func (co *Coordinator) writeError(w http.ResponseWriter, status int, resp *serve.ErrorResponse) {
+	co.cfg.Logger.Printf("error %d %s: %s", status, resp.Kind, resp.Error)
+	co.writeJSON(w, status, resp)
+}
+
+func trimSlash(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '/' {
+		s = s[:len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// The consistent-hash ring maps request shard keys onto workers so that
+// each worker's LRU design cache stays hot on its shard: a given
+// (source content hash, canonical option key) always hashes to the same
+// owner while the membership holds, and membership changes only remap the
+// keys the departed (or arrived) worker owned. Determinism is a hard
+// requirement — two coordinators built over the same member set must
+// agree on every owner, and rebuilds must not depend on join order — so
+// construction sorts members, hashing is SHA-256 (stable across
+// processes, unlike hash/maphash), and every iteration in this file runs
+// over sorted slices. The detmap analyzer covers this file.
+
+// ringVnodes is the number of virtual points per member. 64 keeps the
+// per-member load spread within a few percent for small clusters while
+// the whole ring stays a few KiB.
+const ringVnodes = 64
+
+// ringPoint is one virtual node: a position on the 64-bit ring owned by a
+// member.
+type ringPoint struct {
+	hash  uint64
+	owner int // index into Ring.members
+}
+
+// Ring is an immutable consistent-hash ring over a set of member IDs.
+// Coordinators swap whole rings on membership change (copy-on-write), so
+// lookups never lock and in-flight requests keep the candidate order they
+// started with.
+type Ring struct {
+	members []string // sorted, distinct
+	points  []ringPoint
+}
+
+// NewRing builds the ring over members (order-insensitive; duplicates
+// collapse). An empty member set yields an empty ring whose Lookup
+// returns nil.
+func NewRing(members []string) *Ring {
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	distinct := sorted[:0]
+	for i, m := range sorted {
+		if i == 0 || m != sorted[i-1] {
+			distinct = append(distinct, m)
+		}
+	}
+	r := &Ring{members: distinct}
+	r.points = make([]ringPoint, 0, len(distinct)*ringVnodes)
+	for i, m := range distinct {
+		for v := 0; v < ringVnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hashKey(fmt.Sprintf("%s#%d", m, v)),
+				owner: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		pa, pb := r.points[a], r.points[b]
+		if pa.hash != pb.hash {
+			return pa.hash < pb.hash
+		}
+		// Hash ties (vanishingly rare) break by member order so equal
+		// member sets always produce identical rings.
+		return pa.owner < pb.owner
+	})
+	return r
+}
+
+// Members returns the ring's member IDs in sorted order. The slice is
+// shared; callers must not mutate it.
+func (r *Ring) Members() []string { return r.members }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Lookup returns every member ordered by ring distance from key: the
+// owner first, then the successors a router fails over to. The order is a
+// pure function of (member set, key).
+func (r *Ring) Lookup(key string) []string {
+	if len(r.members) == 0 {
+		return nil
+	}
+	h := hashKey(key)
+	// First point clockwise from h, wrapping.
+	i := sort.Search(len(r.points), func(j int) bool { return r.points[j].hash >= h })
+	out := make([]string, 0, len(r.members))
+	seen := make([]bool, len(r.members))
+	for n := 0; n < len(r.points) && len(out) < len(r.members); n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if !seen[p.owner] {
+			seen[p.owner] = true
+			out = append(out, r.members[p.owner])
+		}
+	}
+	return out
+}
+
+// Owner returns the member owning key ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	c := r.Lookup(key)
+	if len(c) == 0 {
+		return ""
+	}
+	return c[0]
+}
+
+// hashKey positions a string on the ring. SHA-256 truncated to 64 bits:
+// deterministic across processes and well-spread for the short structured
+// keys we hash (shard keys and "member#vnode" labels).
+func hashKey(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

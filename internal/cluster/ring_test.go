@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func sampleKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("deadbeef%04x|alloc=daa", i)
+	}
+	return keys
+}
+
+// TestRingDeterministicAcrossJoinOrder: the same member set must build
+// the same ring no matter the order members arrive — two coordinators
+// over one cluster have to agree on every owner.
+func TestRingDeterministicAcrossJoinOrder(t *testing.T) {
+	a := NewRing([]string{"w0", "w1", "w2"})
+	b := NewRing([]string{"w2", "w0", "w1", "w0"}) // shuffled + duplicate
+	if !reflect.DeepEqual(a.Members(), b.Members()) {
+		t.Fatalf("members differ: %v vs %v", a.Members(), b.Members())
+	}
+	for _, k := range sampleKeys(500) {
+		la, lb := a.Lookup(k), b.Lookup(k)
+		if !reflect.DeepEqual(la, lb) {
+			t.Fatalf("lookup %q differs across join order: %v vs %v", k, la, lb)
+		}
+	}
+}
+
+// TestRingLookupCoversAllMembersDistinct: the candidate list is a
+// permutation of the membership with the owner first.
+func TestRingLookupCoversAllMembersDistinct(t *testing.T) {
+	r := NewRing([]string{"w0", "w1", "w2", "w3"})
+	for _, k := range sampleKeys(200) {
+		c := r.Lookup(k)
+		if len(c) != 4 {
+			t.Fatalf("lookup %q returned %d candidates, want 4", k, len(c))
+		}
+		seen := map[string]bool{}
+		for _, id := range c {
+			if seen[id] {
+				t.Fatalf("lookup %q repeats candidate %s: %v", k, id, c)
+			}
+			seen[id] = true
+		}
+		if c[0] != r.Owner(k) {
+			t.Fatalf("owner %s is not the first candidate of %v", r.Owner(k), c)
+		}
+	}
+}
+
+// TestRingRemovalRemapsOnlyOrphanedKeys pins the consistency property
+// that makes the per-worker caches survive membership churn: removing a
+// member must not move keys owned by the survivors.
+func TestRingRemovalRemapsOnlyOrphanedKeys(t *testing.T) {
+	full := NewRing([]string{"w0", "w1", "w2"})
+	without := NewRing([]string{"w0", "w2"})
+	moved, kept := 0, 0
+	for _, k := range sampleKeys(1000) {
+		before := full.Owner(k)
+		after := without.Owner(k)
+		if before == "w1" {
+			if after == "w1" {
+				t.Fatalf("key %q still owned by removed member", k)
+			}
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", k, before, after)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// TestRingSpread is a sanity bound on vnode balance: with 3 members no
+// shard should fall below 15% or above 60% of 3000 keys.
+func TestRingSpread(t *testing.T) {
+	r := NewRing([]string{"w0", "w1", "w2"})
+	counts := map[string]int{}
+	n := 3000
+	for _, k := range sampleKeys(n) {
+		counts[r.Owner(k)]++
+	}
+	for _, m := range r.Members() {
+		frac := float64(counts[m]) / float64(n)
+		if frac < 0.15 || frac > 0.60 {
+			t.Errorf("member %s owns %.1f%% of keys, outside [15%%, 60%%]", m, 100*frac)
+		}
+	}
+}
+
+// TestRingEmpty: an empty ring refuses lookups gracefully.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil)
+	if got := r.Lookup("anything"); got != nil {
+		t.Errorf("empty ring lookup = %v, want nil", got)
+	}
+	if got := r.Owner("anything"); got != "" {
+		t.Errorf("empty ring owner = %q, want empty", got)
+	}
+}

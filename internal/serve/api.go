@@ -307,6 +307,10 @@ const (
 	KindOverload = "overload" // admission queue full; retry later
 	KindShutdown = "shutdown" // the server is draining
 	KindInternal = "internal" // synthesis failed unexpectedly (or panicked)
+	// KindUnavailable is emitted by cluster coordinators (internal/cluster)
+	// when no ready worker can take the request: the ring is empty or every
+	// failover candidate failed at the transport level.
+	KindUnavailable = "unavailable"
 )
 
 // ErrorResponse is the error body of every endpoint.
@@ -402,9 +406,14 @@ type BatchItem struct {
 	Error  *ErrorResponse      `json:"error,omitempty"`
 }
 
-// HealthResponse is the GET /v1/healthz body.
+// HealthResponse is the GET /v1/healthz body. Plain /v1/healthz is the
+// liveness probe (200 while the process serves, draining included);
+// /v1/healthz?ready=1 is the readiness probe (503 while draining or
+// before warmup) — the signal cluster routers key ring membership on.
 type HealthResponse struct {
-	Status     string `json:"status"` // "ok" or "draining"
+	Status     string `json:"status"` // "ok", "warming", or "draining"
+	Ready      bool   `json:"ready"`
+	Worker     string `json:"worker,omitempty"` // Config.ID when set
 	InFlight   int64  `json:"inFlight"`
 	QueueDepth int64  `json:"queueDepth"`
 }

@@ -438,6 +438,9 @@ func TestQueueFull429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429: %s", resp.StatusCode, body)
 	}
+	if got := resp.Header.Get("Retry-After"); got == "" {
+		t.Error("429 carries no Retry-After header")
+	}
 	if er := decodeError(t, body); er.Kind != KindOverload {
 		t.Errorf("kind %q, want overload", er.Kind)
 	}
@@ -451,6 +454,37 @@ func TestQueueFull429(t *testing.T) {
 		if r.status != http.StatusOK {
 			t.Errorf("blocked request finished %d: %s", r.status, r.body)
 		}
+	}
+}
+
+// TestShardKeyMatchesProvenanceKey pins the routing identity contract
+// internal/cluster relies on: the shard key a coordinator hashes for a
+// synthesize request equals the provenance key the worker's response
+// returns, so a later /v1/explain routed by that raw key lands on the
+// worker that journaled the design.
+func TestShardKeyMatchesProvenanceKey(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := benchRequest(t, "gcd")
+	req.Options.Provenance = true
+	key, err := req.ShardKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/synthesize", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	out := decodeSynth(t, body)
+	if out.Provenance == nil {
+		t.Fatal("response carries no provenance summary")
+	}
+	if out.Provenance.Key != key {
+		t.Errorf("ShardKey %q != provenance key %q", key, out.Provenance.Key)
+	}
+	// Bad options are a routing-time error, not a worker round trip.
+	req.Options.Allocator = "bogus"
+	if _, err := req.ShardKey(); err == nil {
+		t.Error("ShardKey accepted an unknown allocator")
 	}
 }
 
@@ -472,9 +506,43 @@ func TestDrainRefusesNewWork(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("batch during drain: status %d: %s", resp.StatusCode, body)
 	}
+	// Liveness stays 200 during drain (the process is alive, finishing
+	// in-flight work); readiness is what fails, taking the worker out of
+	// cluster rings before its listener disappears.
 	hz, hzBody := postGet(t, ts.URL+"/v1/healthz")
+	if hz != http.StatusOK || !strings.Contains(string(hzBody), "draining") {
+		t.Errorf("liveness during drain: %d %s, want 200 draining", hz, hzBody)
+	}
+	hz, hzBody = postGet(t, ts.URL+"/v1/healthz?ready=1")
 	if hz != http.StatusServiceUnavailable || !strings.Contains(string(hzBody), "draining") {
-		t.Errorf("healthz during drain: %d %s", hz, hzBody)
+		t.Errorf("readiness during drain: %d %s, want 503 draining", hz, hzBody)
+	}
+}
+
+// TestReadinessGate pins the warmup half of the liveness/readiness split:
+// SetReady(false) fails only the ?ready=1 probe, and requests still serve.
+func TestReadinessGate(t *testing.T) {
+	s, ts := newTestServer(t, Config{ID: "w7"})
+	s.SetReady(false)
+	code, body := postGet(t, ts.URL+"/v1/healthz")
+	if code != http.StatusOK || !strings.Contains(string(body), "warming") {
+		t.Errorf("liveness while warming: %d %s, want 200 warming", code, body)
+	}
+	code, _ = postGet(t, ts.URL+"/v1/healthz?ready=1")
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("readiness while warming: %d, want 503", code)
+	}
+	resp, rbody := postJSON(t, ts.URL+"/v1/synthesize", benchRequest(t, "gcd"))
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("unready worker refused a request: %d %s", resp.StatusCode, rbody)
+	}
+	if got := resp.Header.Get("X-DAAD-Worker"); got != "w7" {
+		t.Errorf("X-DAAD-Worker = %q, want w7", got)
+	}
+	s.SetReady(true)
+	code, _ = postGet(t, ts.URL+"/v1/healthz?ready=1")
+	if code != http.StatusOK {
+		t.Errorf("readiness after SetReady(true): %d, want 200", code)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/flow"
 	"repro/internal/isps"
@@ -23,6 +24,9 @@ import (
 
 // Config sizes the daemon. The zero value serves with sane defaults.
 type Config struct {
+	// ID identifies this worker in the X-DAAD-Worker response header and in
+	// cluster status reports. Empty omits the header (standalone daemons).
+	ID string
 	// Workers bounds concurrent syntheses (default runtime.GOMAXPROCS).
 	Workers int
 	// QueueDepth bounds requests waiting for a worker beyond the workers
@@ -91,6 +95,7 @@ type Server struct {
 	waiting  atomic.Int64  // admitted requests (queued + in flight)
 	inflight atomic.Int64  // requests holding a worker token
 	draining atomic.Bool
+	ready    atomic.Bool // readiness gate: false before warmup completes
 
 	reqSeq atomic.Int64
 	http   http.Server
@@ -114,8 +119,35 @@ func New(cfg Config) *Server {
 		slots:      make(chan struct{}, cfg.Workers),
 		synthesize: flow.Compile,
 	}
+	s.ready.Store(true)
 	s.http.Handler = s.Handler()
 	return s
+}
+
+// SetReady flips the readiness gate reported by GET /v1/healthz?ready=1.
+// Servers boot ready; a daemon that wants to warm caches first calls
+// SetReady(false) before serving and SetReady(true) once warmup completes,
+// so cluster routers keep the worker out of the ring until it is hot.
+// Liveness (plain /v1/healthz) and request handling are unaffected: an
+// unready worker still serves whatever reaches it.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Warm runs one small embedded benchmark through the full synthesize
+// path, paying the first-run costs — rule-base compilation, Rete network
+// build, code page-in — before real traffic arrives. The intended boot
+// sequence is SetReady(false), Warm, SetReady(true): the readiness probe
+// reports "warming" in between and cluster routers keep the worker out of
+// the ring until it is hot.
+func (s *Server) Warm(ctx context.Context) error {
+	src, err := bench.Source("gcd")
+	if err != nil {
+		return err
+	}
+	out := s.runOne(ctx, SynthesizeRequest{Name: "warmup.isps", Source: src}, false)
+	if out.err != nil {
+		return fmt.Errorf("warmup synthesis: %s", out.err.Error)
+	}
+	return nil
 }
 
 // Handler returns the daemon's full HTTP handler: the /v1 mux wrapped in
@@ -186,6 +218,9 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 		ctx := context.WithValue(r.Context(), reqIDKey, id)
 		r = r.WithContext(ctx)
 		w.Header().Set("X-DAAD-Request", id)
+		if s.cfg.ID != "" {
+			w.Header().Set("X-DAAD-Worker", s.cfg.ID)
+		}
 		sw := &statusWriter{ResponseWriter: w}
 		t0 := time.Now()
 		defer func() {
@@ -389,18 +424,14 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 
 	var resp LintResponse
 	if strings.TrimSpace(req.Source) != "" {
-		name := req.Name
-		if name == "" {
-			name = "input.isps"
-		}
-		in := flow.Input{Name: name, Source: req.Source}
+		in := flowInput(req.Name, req.Source)
 		prog, err := flow.Parse(r.Context(), in)
 		if err != nil {
 			out := s.errorOutcome(err, id)
 			s.writeError(w, r, out.status, out.err)
 			return
 		}
-		resp.Name = name
+		resp.Name = in.Name
 		for _, d := range flow.LintDiagnostics(in, isps.Lint(prog)) {
 			resp.Findings = append(resp.Findings, Diagnostic{
 				File: d.Pos.File, Line: d.Pos.Line, Col: d.Pos.Col,
@@ -460,17 +491,31 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealthz answers both health probes. The plain form is liveness:
+// it is 200 for as long as the process serves, draining included, so
+// process supervisors do not kill a daemon that is finishing in-flight
+// work. With ?ready=1 it is readiness: 503 while draining or before
+// warmup, which is what tells a cluster router to take the worker out of
+// the ring before the listener disappears.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.met.healthz.Add(1)
 	status := "ok"
+	ready := true
+	switch {
+	case s.draining.Load():
+		status, ready = "draining", false
+	case !s.ready.Load():
+		status, ready = "warming", false
+	}
 	code := http.StatusOK
-	if s.draining.Load() {
-		status = "draining"
+	if r.URL.Query().Get("ready") != "" && !ready {
 		code = http.StatusServiceUnavailable
 	}
 	waiting, inflight := s.waiting.Load(), s.inflight.Load()
 	s.writeJSON(w, code, HealthResponse{
 		Status:     status,
+		Ready:      ready,
+		Worker:     s.cfg.ID,
 		InFlight:   inflight,
 		QueueDepth: max64(waiting-inflight, 0),
 	})
@@ -503,11 +548,7 @@ func (s *Server) runOne(ctx context.Context, req SynthesizeRequest, admit bool) 
 			Error: "empty source", Kind: KindRequest, RequestID: id,
 		}}
 	}
-	name := req.Name
-	if name == "" {
-		name = "input.isps"
-	}
-	in := flow.Input{Name: name, Source: req.Source}
+	in := req.flowInput()
 	opt, err := req.Options.flowOptions()
 	if err != nil {
 		return outcome{status: http.StatusBadRequest, err: &ErrorResponse{
@@ -718,5 +759,10 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, resp *ErrorResponse) {
 	s.cfg.Logger.Printf("%s error %d %s: %s", requestID(r.Context()), status, resp.Kind, resp.Error)
+	if status == http.StatusTooManyRequests && w.Header().Get("Retry-After") == "" {
+		// Shed load tells the client when to come back; cluster routers
+		// forward the header instead of retrying into the same overload.
+		w.Header().Set("Retry-After", "1")
+	}
 	s.writeJSON(w, status, resp)
 }
