@@ -248,7 +248,10 @@ func BenchmarkListScheduler(b *testing.B) {
 	lim := sched.Limits{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m := sched.Program(tr, lim)
+		m, err := sched.Program(tr, lim)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if sched.TotalSteps(m) == 0 {
 			b.Fatal("no steps")
 		}
@@ -294,6 +297,28 @@ func BenchmarkE9Cosim(b *testing.B) {
 		}
 		if i == 0 {
 			b.ReportMetric(float64(samples), "samples/suite")
+		}
+	}
+}
+
+// BenchmarkE10Explore — the design-space-exploration extension: the
+// 12-point knob grid swept on the worker pool and reduced to its Pareto
+// front.
+func BenchmarkE10Explore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		front, err := exp.E10(context.Background(), "mcs6502")
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Some grid points fail by design (ASAP under the baseline
+		// allocators violates the single-port memory constraint); the
+		// front must still evaluate the DAA points and have a frontier.
+		if front.Evaluated < 4 || front.Frontier < 1 {
+			b.Fatalf("front shape: %d evaluated, %d frontier of %d points",
+				front.Evaluated, front.Frontier, len(front.Points))
+		}
+		if i == 0 {
+			b.ReportMetric(float64(front.Frontier), "frontier-points")
 		}
 	}
 }

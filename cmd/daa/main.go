@@ -19,6 +19,9 @@
 //	daa -bench gcd -lite                use the interpreted Rete-lite matcher
 //	daa -bench gcd -parallel-match 4    shard beta propagation across workers
 //	daa -bench gcd -stage-timing        print per-stage pipeline wall time
+//	daa -bench gcd -explore 'allocator=daa,leftedge cleanup=true,false'
+//	                                    sweep a knob grid, print the Pareto front
+//	daa -knobs                          list the synthesis knob space
 //	daa -bench gcd -explain "reg X"     why does this component exist?
 //	daa -bench gcd -journal run.jnl     record the effect journal to a file
 //	daa -lint-rules                     statically lint the embedded rule base, exit 2 on findings
@@ -69,6 +72,9 @@ type options struct {
 	remote      string
 	deadline    time.Duration
 	lintRules   bool
+	exploreSpec string
+	exploreJSON bool
+	knobs       bool
 }
 
 func main() {
@@ -96,6 +102,9 @@ func main() {
 	flag.BoolVar(&o.lintRules, "lint-rules", false, "statically lint the embedded knowledge base against the working-memory schemas and exit (findings exit 2)")
 	flag.StringVar(&o.remote, "remote", "", "synthesize via a daad daemon at this base URL (e.g. http://localhost:8547)")
 	flag.DurationVar(&o.deadline, "deadline", 0, "per-request synthesis deadline (remote mode; 0 = server default)")
+	flag.StringVar(&o.exploreSpec, "explore", "", "sweep a knob grid and print the Pareto front, e.g. 'allocator=daa,leftedge scheduler=list,asap' (see -knobs; works with -remote)")
+	flag.BoolVar(&o.exploreJSON, "json", false, "with -explore, print the daemon-identical JSON body instead of the table")
+	flag.BoolVar(&o.knobs, "knobs", false, "list the synthesis knob space (grid axes for -explore) and exit")
 	flag.Parse()
 	if err := run(os.Stdout, o); err != nil {
 		flow.WriteError(os.Stderr, "daa", err)
@@ -113,9 +122,18 @@ func run(w io.Writer, o options) error {
 	if o.lintRules {
 		return runLintRules(w)
 	}
+	if o.knobs {
+		return runKnobs(w)
+	}
 	in, err := input(o.inFile, o.benchName)
 	if err != nil {
 		return err
+	}
+	if o.exploreSpec != "" {
+		if o.remote != "" {
+			return runRemoteExplore(w, in, o)
+		}
+		return runExplore(w, in, o)
 	}
 	if o.remote != "" {
 		return runRemote(w, in, o)
@@ -149,7 +167,7 @@ func run(w io.Writer, o options) error {
 		// Report the description as loaded, before the DAA's trace rules
 		// refine it in place. Front hits the same artifact cache Compile
 		// uses, so this costs one clone.
-		tr, err := flow.Front(ctx, in)
+		tr, err := flow.FrontEnd(ctx, in)
 		if err != nil {
 			return err
 		}

@@ -30,17 +30,37 @@ type loadOptions struct {
 	requests    int    // total requests (cycled over the suite)
 	noCache     bool   // ask the daemon to bypass its design cache
 	cluster     bool   // target is a coordinator: report per-worker shard heat
+	explore     bool   // mix /v1/explore sweeps into the synthesize replay
 	asJSON      bool
+}
+
+// exploreStride makes every Nth loadgen request an /v1/explore sweep when
+// -explore is set; the rest stay synthesize replays. The sweep grid is
+// small and fixed (exploreGrid) so one sweep costs a handful of synthesis
+// points and the mix exercises the explore path without dwarfing the
+// synthesize traffic.
+const exploreStride = 4
+
+// exploreGrid is the fixed 4-point sweep loadgen posts: two allocators
+// crossed with cleanup on/off.
+func exploreGrid() map[string]serve.GridAxis {
+	return map[string]serve.GridAxis{
+		"allocator": {"daa", "leftedge"},
+		"cleanup":   {"true", "false"},
+	}
 }
 
 // LoadReport is the machine-readable loadgen result (daabench -loadgen -json).
 type LoadReport struct {
-	Addr        string         `json:"addr"`
-	Suite       []string       `json:"suite"`
-	Requests    int            `json:"requests"`
-	Concurrency int            `json:"concurrency"`
-	Errors      int            `json:"errors"`
-	CacheHits   int64          `json:"cacheHits"`
+	Addr        string   `json:"addr"`
+	Suite       []string `json:"suite"`
+	Requests    int      `json:"requests"`
+	Concurrency int      `json:"concurrency"`
+	Errors      int      `json:"errors"`
+	CacheHits   int64    `json:"cacheHits"`
+	// Explore counts the requests sent to /v1/explore instead of
+	// /v1/synthesize (every exploreStride-th request with -explore).
+	Explore     int64          `json:"exploreRequests"`
 	StatusCount map[string]int `json:"statusCounts"`
 	WallMS      float64        `json:"wallMs"`
 	Throughput  float64        `json:"throughputRPS"`
@@ -81,6 +101,7 @@ func runLoadgen(w io.Writer, opts loadOptions) error {
 	}
 	names := bench.Names()
 	bodies := make([][]byte, len(names))
+	exploreBodies := make([][]byte, len(names))
 	for i, n := range names {
 		src, err := bench.Source(n)
 		if err != nil {
@@ -95,11 +116,24 @@ func runLoadgen(w io.Writer, opts loadOptions) error {
 			return err
 		}
 		bodies[i] = body
+		if opts.explore {
+			eb, err := json.Marshal(serve.ExploreRequest{
+				Name:    n + ".isps",
+				Source:  src,
+				Grid:    exploreGrid(),
+				NoCache: opts.noCache,
+			})
+			if err != nil {
+				return err
+			}
+			exploreBodies[i] = eb
+		}
 	}
 
 	var (
 		next      atomic.Int64
 		cacheHits atomic.Int64
+		explores  atomic.Int64
 		mu        sync.Mutex
 		latencies []time.Duration
 		statuses  = map[string]int{}
@@ -107,7 +141,8 @@ func runLoadgen(w io.Writer, opts loadOptions) error {
 		errs      int
 	)
 	client := &http.Client{Timeout: 5 * time.Minute}
-	url := base + "/v1/synthesize"
+	synthURL := base + "/v1/synthesize"
+	exploreURL := base + "/v1/explore"
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < opts.concurrency; c++ {
@@ -119,7 +154,11 @@ func runLoadgen(w io.Writer, opts loadOptions) error {
 				if i >= int64(opts.requests) {
 					return
 				}
-				body := bodies[i%int64(len(bodies))]
+				url, body := synthURL, bodies[i%int64(len(bodies))]
+				if opts.explore && i%exploreStride == 0 {
+					url, body = exploreURL, exploreBodies[i%int64(len(bodies))]
+					explores.Add(1)
+				}
 				t0 := time.Now()
 				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 				lat := time.Since(t0)
@@ -163,6 +202,7 @@ func runLoadgen(w io.Writer, opts loadOptions) error {
 		Concurrency: opts.concurrency,
 		Errors:      errs,
 		CacheHits:   cacheHits.Load(),
+		Explore:     explores.Load(),
 		StatusCount: statuses,
 		WallMS:      float64(wall.Microseconds()) / 1000,
 		Throughput:  float64(opts.requests) / wall.Seconds(),
@@ -191,6 +231,14 @@ func runLoadgen(w io.Writer, opts loadOptions) error {
 		rep.Requests, rep.Concurrency, rep.Addr, len(names))
 	fmt.Fprintf(w, "  wall %.1f ms, %.1f req/s, %d errors, %d cache hits\n",
 		rep.WallMS, rep.Throughput, rep.Errors, rep.CacheHits)
+	if opts.explore {
+		points := 1
+		for _, ax := range exploreGrid() {
+			points *= len(ax)
+		}
+		fmt.Fprintf(w, "  explore: %d sweeps (every %dth request, %d-point grid)\n",
+			rep.Explore, exploreStride, points)
+	}
 	fmt.Fprintf(w, "  latency ms: mean %.2f  p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
 		rep.Latency.Mean, rep.Latency.P50, rep.Latency.P90, rep.Latency.P99, rep.Latency.Max)
 	if opts.cluster {

@@ -38,6 +38,30 @@ func TestLoadgenSingleDaemon(t *testing.T) {
 	}
 }
 
+func TestLoadgenExploreMix(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+
+	var sb strings.Builder
+	err := runLoadgen(&sb, loadOptions{
+		addr: ts.URL, concurrency: 4, requests: 16, explore: true, asJSON: true,
+	})
+	if err != nil {
+		t.Fatalf("loadgen -explore: %v\n%s", err, sb.String())
+	}
+	var rep LoadReport
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d errors: %v", rep.Errors, rep.StatusCount)
+	}
+	// 16 requests with stride 4 → exactly 4 explore sweeps.
+	if rep.Explore != 4 {
+		t.Errorf("exploreRequests = %d, want 4", rep.Explore)
+	}
+}
+
 func TestLoadgenClusterReport(t *testing.T) {
 	var peers []cluster.Peer
 	for i := 0; i < 2; i++ {

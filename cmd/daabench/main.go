@@ -10,6 +10,7 @@
 //	E7 (extension) knowledge-ablation study
 //	E8 (engine)    per-rule match cost and conflict-set statistics
 //	E9 (extension) behavioral-vs-RTL cosimulation verdicts
+//	E10 (extension) design-space exploration: knob grid vs the paper's point
 //	STAGES         per-stage pipeline wall time (internal/flow)
 //
 // Usage:
@@ -17,7 +18,7 @@
 //	daabench                 run everything
 //	daabench -only E2        run one experiment
 //	daabench -only stages    print the pipeline stage-timing table
-//	daabench -bench gcd      use a different benchmark for E2/E3/E4/E8/STAGES
+//	daabench -bench gcd      use a different benchmark for E2/E3/E4/E8/E10/STAGES
 //	daabench -json           emit machine-readable per-benchmark results
 //	daabench -json -lite     same, on the interpreted Rete-lite matcher
 //	daabench -json -verify   same, with cosim verdicts and stage timings
@@ -43,6 +44,12 @@
 //	daabench -loadgen -addr http://localhost:8547            human summary
 //	daabench -loadgen -addr ... -c 32 -n 256 -json           JSON report
 //	daabench -loadgen -addr ... -no-cache                    force full syntheses
+//	daabench -loadgen -addr ... -explore                     mix in /v1/explore sweeps
+//
+// With -explore every fourth request becomes a small fixed-grid
+// POST /v1/explore sweep over the cycled benchmark (two allocators crossed
+// with cleanup on/off), so the serving-path numbers cover the
+// design-space-exploration endpoint alongside plain synthesis.
 package main
 
 import (
@@ -59,8 +66,8 @@ import (
 
 func main() {
 	var (
-		only      = flag.String("only", "", "run a single experiment: E1..E9, or 'stages'")
-		benchName = flag.String("bench", "mcs6502", "benchmark for E2, E3, E4, E8, and stages")
+		only      = flag.String("only", "", "run a single experiment: E1..E10, or 'stages'")
+		benchName = flag.String("bench", "mcs6502", "benchmark for E2, E3, E4, E8, E10, and stages")
 		asJSON    = flag.Bool("json", false, "emit machine-readable per-benchmark results instead of tables")
 		lite      = flag.Bool("lite", false, "with -json: use the interpreted Rete-lite matcher (baseline for match-cost diffs)")
 		exhaust   = flag.Bool("exhaustive", false, "with -json: recompute the conflict set from scratch every cycle")
@@ -71,6 +78,7 @@ func main() {
 		requests  = flag.Int("n", 128, "total requests for -loadgen (cycled over the suite)")
 		noCache   = flag.Bool("no-cache", false, "ask the daemon to bypass its design cache (-loadgen)")
 		clusterFl = flag.Bool("cluster", false, "with -loadgen: -addr is a coordinator; report per-worker shard heat and failovers")
+		exploreFl = flag.Bool("explore", false, "with -loadgen: make every fourth request a small /v1/explore sweep")
 	)
 	flag.Parse()
 	var err error
@@ -81,6 +89,7 @@ func main() {
 			requests:    *requests,
 			noCache:     *noCache,
 			cluster:     *clusterFl,
+			explore:     *exploreFl,
 			asJSON:      *asJSON,
 		})
 	} else {
@@ -131,9 +140,11 @@ func run(w io.Writer, only, benchName string, asJSON, verify bool, copt core.Opt
 		return exp.RenderEngineMetrics(ctx, w, benchName)
 	case "E9", "COSIM":
 		return exp.RenderE9(ctx, w)
+	case "E10", "EXPLORE":
+		return exp.RenderE10(ctx, w, benchName)
 	case "STAGES":
 		return exp.RenderStageTiming(ctx, w, benchName)
 	default:
-		return flow.Usagef("unknown experiment %q (want E1..E9, or stages)", only)
+		return flow.Usagef("unknown experiment %q (want E1..E10, or stages)", only)
 	}
 }

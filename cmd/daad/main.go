@@ -16,8 +16,10 @@
 //	daad -coordinator -peers host1:8547,host2:8547
 //
 // Endpoints (see internal/serve): POST /v1/synthesize, POST /v1/batch,
-// POST /v1/lint, GET /v1/explain, GET /v1/healthz, GET /v1/metrics.
-// Cluster modes add GET /v1/cluster (see internal/cluster).
+// POST /v1/lint, POST /v1/explore (knob-grid sweeps to a Pareto front,
+// bounded by -max-grid), GET /v1/explain, GET /v1/healthz,
+// GET /v1/metrics. Cluster modes add GET /v1/cluster (see
+// internal/cluster).
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: new work is refused
 // with 503 while in-flight syntheses run to completion, bounded by
@@ -51,6 +53,7 @@ func main() {
 		maxDeadline  = flag.Duration("max-deadline", 5*time.Minute, "clamp on client-supplied deadlines")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound for in-flight work")
 		parallel     = flag.Int("parallel-match", 0, "shard Rete beta propagation across this many workers per synthesis (0 = serial)")
+		maxGrid      = flag.Int("max-grid", 0, "largest /v1/explore grid accepted, in points (0 = default 64, negative disables the endpoint's cap)")
 
 		id            = flag.String("id", "", "worker identity reported in X-DAAD-Worker")
 		warmup        = flag.Bool("warmup", false, "synthesize a small benchmark before reporting ready")
@@ -70,6 +73,7 @@ func main() {
 		DefaultDeadline:   *deadline,
 		MaxDeadline:       *maxDeadline,
 		ParallelMatch:     *parallel,
+		MaxGridPoints:     *maxGrid,
 		Logger:            log.New(os.Stderr, "daad ", log.LstdFlags|log.Lmicroseconds),
 	}
 	var err error

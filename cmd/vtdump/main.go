@@ -66,7 +66,7 @@ func run(w io.Writer, inFile, benchName string, dot, provenance bool) error {
 		return flow.Usagef("-provenance annotates the graph output; pass -dot as well")
 	}
 	ctx := context.Background()
-	tr, err := flow.Front(ctx, in)
+	tr, err := flow.FrontEnd(ctx, in)
 	if err != nil {
 		return err
 	}

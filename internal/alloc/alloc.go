@@ -44,9 +44,13 @@ func unitWidth(op *vt.Op) int {
 // per operation kind), so the three designs implement identical control
 // steps and the comparison isolates binding policy, as the paper's did.
 func Naive(trace *vt.Program, opt Options) (*rtl.Design, error) {
+	scheds, err := sched.ProgramWith(opt.Scheduler, trace, defaultLimits(trace, opt.Limits))
+	if err != nil {
+		return nil, err
+	}
 	d := rtl.NewDesign(trace.Name+"-naive", trace)
 	bind.Carriers(d)
-	bind.ApplySchedule(d, sched.Program(trace, defaultLimits(trace, opt.Limits)))
+	bind.ApplySchedule(d, scheds)
 	for _, op := range trace.AllOps() {
 		if op.Kind.IsCompute() {
 			d.OpUnit[op] = d.AddUnit(fmt.Sprintf("u%d.%s", op.ID, op.Kind), unitWidth(op), op.Kind)
@@ -71,6 +75,10 @@ type Options struct {
 	// minimum-hardware operating point of the classical allocators and the
 	// DAA's default.
 	Limits sched.Limits
+	// Scheduler names the scheduling policy (sched.SchedList, SchedASAP,
+	// SchedALAP); empty means list. ASAP and ALAP ignore Limits, so their
+	// designs may demand more concurrent hardware than the list schedule's.
+	Scheduler string
 }
 
 // defaultLimits fills in the one-unit-per-kind default.
@@ -90,9 +98,13 @@ func defaultLimits(trace *vt.Program, lim sched.Limits) sched.Limits {
 // left-edge holding-register packing.
 func LeftEdge(trace *vt.Program, opt Options) (*rtl.Design, error) {
 	lim := defaultLimits(trace, opt.Limits)
+	scheds, err := sched.ProgramWith(opt.Scheduler, trace, lim)
+	if err != nil {
+		return nil, err
+	}
 	d := rtl.NewDesign(trace.Name+"-leftedge", trace)
 	bind.Carriers(d)
-	bind.ApplySchedule(d, sched.Program(trace, lim))
+	bind.ApplySchedule(d, scheds)
 	shareUnits(d)
 	packRegisters(d)
 	if err := bind.Wire(d); err != nil {

@@ -25,8 +25,9 @@ var Detmap = &Analyzer{
 	Name: "detmap",
 	Doc: "no unsorted map iteration or wall-clock/randomness in determinism-critical paths\n\n" +
 		"Scope: repro/internal/prod and repro/internal/core entirely (map ranging), plus\n" +
-		"flow key/cosim and serve render/explain files; the clock/randomness check runs\n" +
-		"in journal, replay, wire, provenance, key, render, and explain files. The\n" +
+		"flow key/cosim/knobs/explore and serve render/explain/explore files; the\n" +
+		"clock/randomness check runs in journal, replay, wire, provenance, key, render,\n" +
+		"explain, knob, and explore files. The\n" +
 		"collect-and-sort idiom (a range body that only appends) is recognized;\n" +
 		"sanctioned exceptions carry //daalint:allow detmap <reason>.",
 	Run: runDetmap,
@@ -36,16 +37,18 @@ var Detmap = &Analyzer{
 // file names ("" key means the whole package). Fixture packages (paths
 // outside repro) are always in scope.
 var detmapPackages = map[string][]string{
-	"repro/internal/prod":    nil, // whole package: match order is the firing order
-	"repro/internal/core":    nil, // whole package: rule actions feed the journal
-	"repro/internal/flow":    {"key.go", "cosim.go"},
-	"repro/internal/serve":   {"render.go", "explain.go", "shard.go"},
+	"repro/internal/prod": nil, // whole package: match order is the firing order
+	"repro/internal/core": nil, // whole package: rule actions feed the journal
+	// knobs.go and explore.go carry the cache-key encoding and the
+	// byte-pinned front ordering of /v1/explore.
+	"repro/internal/flow":    {"key.go", "cosim.go", "knobs.go", "explore.go"},
+	"repro/internal/serve":   {"render.go", "explain.go", "shard.go", "explore.go"},
 	"repro/internal/cluster": {"ring.go"}, // ring construction and lookup order must be stable across coordinators
 }
 
 // clockFiles names the file-name substrings where the wall-clock and
 // randomness check applies: the record/replay and canonical-output files.
-var clockFiles = []string{"journal", "replay", "wire", "provenance", "key", "render", "explain", "cosim", "ring", "shard"}
+var clockFiles = []string{"journal", "replay", "wire", "provenance", "key", "render", "explain", "cosim", "ring", "shard", "knob", "explore"}
 
 // detmapRangeScoped reports whether the map-range check covers file.
 func detmapRangeScoped(pkgPath, file string) bool {

@@ -65,7 +65,7 @@ func LoadContext(ctx context.Context, name string) (*vt.Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	trace, err := flow.Front(ctx, in)
+	trace, err := flow.FrontEnd(ctx, in)
 	if err != nil {
 		return nil, fmt.Errorf("bench: %s: %w", name, err)
 	}

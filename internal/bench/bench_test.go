@@ -142,11 +142,11 @@ func TestBenchmarksFormatRoundTrip(t *testing.T) {
 			}
 			// The formatted source builds an equivalent trace (both sides
 			// loaded through the pipeline front end).
-			tr1, err := flow.Front(context.Background(), flow.Input{Name: name, Source: src})
+			tr1, err := flow.FrontEnd(context.Background(), flow.Input{Name: name, Source: src})
 			if err != nil {
 				t.Fatal(err)
 			}
-			tr2, err := flow.Front(context.Background(), flow.Input{Name: name + ".fmt", Source: out})
+			tr2, err := flow.FrontEnd(context.Background(), flow.Input{Name: name + ".fmt", Source: out})
 			if err != nil {
 				t.Fatal(err)
 			}

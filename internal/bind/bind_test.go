@@ -44,7 +44,7 @@ func TestApplyScheduleBindsEveryOp(t *testing.T) {
 	tr := trace(t, wrap("reg A<7:0> reg Z", "A := A + 1\nif Z { A := 0 }"))
 	d := rtl.NewDesign("t", tr)
 	Carriers(d)
-	ApplySchedule(d, sched.Program(tr, sched.Limits{}))
+	ApplySchedule(d, mustProgram(t, tr))
 	for _, op := range tr.AllOps() {
 		if d.OpState[op] == nil {
 			t.Errorf("op %s unbound", op)
@@ -62,7 +62,7 @@ func TestCrossingValuesAndLifetime(t *testing.T) {
 		"A := M[0]\nM[1] := A + 1\nB := M[2]"))
 	d := rtl.NewDesign("t", tr)
 	Carriers(d)
-	ApplySchedule(d, sched.Program(tr, sched.Limits{}))
+	ApplySchedule(d, mustProgram(t, tr))
 	vals := CrossingValues(d)
 	for _, v := range vals {
 		lo, hi := Lifetime(d, v)
@@ -155,7 +155,7 @@ func TestWireProducesValidDesign(t *testing.T) {
         }`))
 	d := rtl.NewDesign("t", tr)
 	Carriers(d)
-	ApplySchedule(d, sched.Program(tr, sched.Limits{}))
+	ApplySchedule(d, mustProgram(t, tr))
 	for _, op := range tr.AllOps() {
 		if op.Kind.IsCompute() {
 			d.OpUnit[op] = d.AddUnit(fmt.Sprintf("u%d", op.ID), 8, op.Kind)
@@ -179,9 +179,19 @@ func TestWireFailsOnUnboundUnit(t *testing.T) {
 	tr := trace(t, wrap("reg A<7:0>", "A := A + 1"))
 	d := rtl.NewDesign("t", tr)
 	Carriers(d)
-	ApplySchedule(d, sched.Program(tr, sched.Limits{}))
+	ApplySchedule(d, mustProgram(t, tr))
 	// No unit binding: Wire must fail loudly.
 	if err := Wire(d); err == nil {
 		t.Fatal("expected error for unbound compute op")
 	}
+}
+
+// mustProgram list-schedules the whole trace, failing the test on error.
+func mustProgram(t *testing.T, tr *vt.Program) map[*vt.Body]*sched.Schedule {
+	t.Helper()
+	m, err := sched.Program(tr, sched.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
 }

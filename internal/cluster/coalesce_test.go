@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/serve"
+)
+
+// countingWorker wraps a real daad worker with an upstream-request counter
+// and an artificial delay on the counted path, so concurrent duplicates
+// demonstrably overlap one in-flight upstream call.
+func countingWorker(t *testing.T, path string, delay time.Duration) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var upstream atomic.Int64
+	inner := serve.New(serve.Config{ID: "w0"}).Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == path {
+			upstream.Add(1)
+			time.Sleep(delay)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &upstream
+}
+
+// bootFront boots a coordinator over one prepared worker URL.
+func bootFront(t *testing.T, workerURL string) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	co, err := New(Config{
+		Peers:         []Peer{{ID: "w0", URL: workerURL}},
+		ProbeInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co.Start(context.Background())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		co.Shutdown(ctx)
+	})
+	front := httptest.NewServer(co.Handler())
+	t.Cleanup(front.Close)
+	return co, front
+}
+
+// TestCoalescingIdenticalSynthesize: N concurrent byte-identical
+// synthesize requests produce exactly ONE upstream worker call; every
+// client gets the same 200 body.
+func TestCoalescingIdenticalSynthesize(t *testing.T) {
+	ts, upstream := countingWorker(t, "/v1/synthesize", 500*time.Millisecond)
+	co, front := bootFront(t, ts.URL)
+
+	src, err := bench.Source("gcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(serve.SynthesizeRequest{Name: "gcd.isps", Source: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	bodies := make([][]byte, n)
+	codes := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(front.URL+"/v1/synthesize", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			codes[i], bodies[i] = resp.StatusCode, buf.Bytes()
+		}(i)
+	}
+	wg.Wait()
+
+	if got := upstream.Load(); got != 1 {
+		t.Errorf("%d upstream synthesize calls for %d concurrent identical requests, want 1", got, n)
+	}
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("client %d: status %d: %s", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("client %d received a different body than client 0", i)
+		}
+	}
+	if got := co.Metrics().Coalesced; got != n-1 {
+		t.Errorf("coalesced counter %d, want %d", got, n-1)
+	}
+
+	// A later repeat starts its own flight (and hits the worker's cache).
+	resp, err := http.Post(front.URL+"/v1/synthesize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := upstream.Load(); got != 2 {
+		t.Errorf("sequential repeat did not forward upstream: %d calls", got)
+	}
+	if got := resp.Header.Get("X-DAAD-Cache"); got != "hit" {
+		t.Errorf("sequential repeat was %q on the worker, want hit", got)
+	}
+}
+
+// TestCoalescingDistinctRequestsDoNotAlias: concurrent requests differing
+// only in options forward separately — the body hash keeps them apart.
+func TestCoalescingDistinctRequestsDoNotAlias(t *testing.T) {
+	ts, upstream := countingWorker(t, "/v1/synthesize", 200*time.Millisecond)
+	_, front := bootFront(t, ts.URL)
+	src, err := bench.Source("gcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []serve.SynthesizeRequest{
+		{Name: "gcd.isps", Source: src},
+		{Name: "gcd.isps", Source: src, Options: serve.RequestOptions{NoCleanup: true}},
+	}
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(reqs[i])
+			resp, err := http.Post(front.URL+"/v1/synthesize", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			resp.Body.Close()
+		}(i)
+	}
+	wg.Wait()
+	if got := upstream.Load(); got != 2 {
+		t.Errorf("%d upstream calls for 2 distinct requests, want 2", got)
+	}
+}
+
+// TestExploreThroughCoordinator: explore routes by design content hash,
+// repeats land on the same worker and hit its explore cache, and the
+// response bytes match across runs. Concurrent identical sweeps coalesce
+// into one upstream call.
+func TestExploreThroughCoordinator(t *testing.T) {
+	tc := bootCluster(t, 3, Config{})
+	src, err := bench.Source("gcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := serve.ExploreRequest{
+		Name:   "gcd.isps",
+		Source: src,
+		Grid: map[string]serve.GridAxis{
+			"allocator": {"daa", "leftedge", "naive"},
+			"scheduler": {"list", "asap"},
+			"cleanup":   {"true", "false"},
+		},
+	}
+	owner := tc.co.Ring().Owner(req.ShardKey())
+
+	resp1, body1 := postJSON(t, tc.url()+"/v1/explore", req)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp1.StatusCode, body1)
+	}
+	if got := resp1.Header.Get("X-DAAD-Worker"); got != owner {
+		t.Errorf("explore served by %s, ring owner of the design is %s", got, owner)
+	}
+	var er serve.ExploreResponse
+	if err := json.Unmarshal(body1, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.GridPoints != 12 || er.Failed != 0 {
+		t.Fatalf("grid=%d failed=%d, want 12/0", er.GridPoints, er.Failed)
+	}
+
+	resp2, body2 := postJSON(t, tc.url()+"/v1/explore", req)
+	if got := resp2.Header.Get("X-DAAD-Worker"); got != owner {
+		t.Errorf("repeat explore served by %s, want %s — affinity broken", got, owner)
+	}
+	if got := resp2.Header.Get("X-DAAD-Cache"); got != "hit" {
+		t.Errorf("repeat explore was %q, want hit", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Error("explore responses differ across runs through the coordinator")
+	}
+
+	// A sweep with different options still routes to the same worker: the
+	// explore shard key covers the design content only.
+	alt := req
+	alt.Options.Allocator = "naive"
+	respAlt, _ := postJSON(t, tc.url()+"/v1/explore", alt)
+	if got := respAlt.Header.Get("X-DAAD-Worker"); got != owner {
+		t.Errorf("option-variant sweep served by %s, want %s", got, owner)
+	}
+
+	if got := tc.co.Metrics().Requests.Explore; got != 3 {
+		t.Errorf("coordinator explore counter %d, want 3", got)
+	}
+}
+
+// TestCoalescingIdenticalExplore: concurrent identical sweeps share one
+// upstream explore call.
+func TestCoalescingIdenticalExplore(t *testing.T) {
+	ts, upstream := countingWorker(t, "/v1/explore", 500*time.Millisecond)
+	_, front := bootFront(t, ts.URL)
+	src, err := bench.Source("gcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(serve.ExploreRequest{
+		Name: "gcd.isps", Source: src,
+		Grid: map[string]serve.GridAxis{"cleanup": {"true", "false"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(front.URL+"/v1/explore", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("client %d: %v", i, err)
+		}
+	}
+	if got := upstream.Load(); got != 1 {
+		t.Errorf("%d upstream explore calls for %d concurrent identical sweeps, want 1", got, n)
+	}
+}

@@ -113,6 +113,7 @@ type Coordinator struct {
 	ring        atomic.Pointer[Ring]
 	probeClient *http.Client
 	met         coordMetrics
+	flights     coalescer
 	start       time.Time
 
 	reqSeq   atomic.Int64
@@ -209,6 +210,7 @@ func (co *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/synthesize", co.handleSynthesize)
 	mux.HandleFunc("POST /v1/batch", co.handleBatch)
 	mux.HandleFunc("POST /v1/lint", co.handleLint)
+	mux.HandleFunc("POST /v1/explore", co.handleExplore)
 	mux.HandleFunc("GET /v1/explain", co.handleExplain)
 	mux.HandleFunc("GET /v1/healthz", co.handleHealthz)
 	mux.HandleFunc("GET /v1/metrics", co.handleMetrics)
@@ -294,7 +296,32 @@ func (co *Coordinator) handleSynthesize(w http.ResponseWriter, r *http.Request) 
 		})
 		return
 	}
-	co.route(w, r, http.MethodPost, "/v1/synthesize", nil, body, key)
+	co.routeCoalesced(w, r, "/v1/synthesize", body, key)
+}
+
+// handleExplore routes a design-space sweep by design content hash alone
+// (ExploreRequest.ShardKey): every sweep of one design lands on the same
+// worker, whose front-end artifact cache absorbs the grid's amplification
+// and whose explore cache answers repeat sweeps. Like synthesize, explore
+// is pure computation, so concurrent identical sweeps coalesce into one
+// upstream call.
+func (co *Coordinator) handleExplore(w http.ResponseWriter, r *http.Request) {
+	co.met.explore.Add(1)
+	if co.refuseDraining(w) {
+		return
+	}
+	body, ok := co.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req serve.ExploreRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		co.writeError(w, http.StatusBadRequest, &serve.ErrorResponse{
+			Error: fmt.Sprintf("malformed request: %v", err), Kind: serve.KindRequest,
+		})
+		return
+	}
+	co.routeCoalesced(w, r, "/v1/explore", body, req.ShardKey())
 }
 
 func (co *Coordinator) handleLint(w http.ResponseWriter, r *http.Request) {
@@ -428,8 +455,10 @@ func (co *Coordinator) observeResponse(peer *peerState, resp *http.Response) {
 // was a cache hit), the worker-side request ID, and Retry-After on 429
 // shedding — forwarded, not swallowed, so the client backs off instead of
 // re-hammering an overloaded shard through the router.
+var forwardedHeaders = []string{"Content-Type", "X-DAAD-Cache", "X-DAAD-Worker", "X-DAAD-Request", "Retry-After"}
+
 func copyHeaders(w http.ResponseWriter, resp *http.Response) {
-	for _, h := range []string{"Content-Type", "X-DAAD-Cache", "X-DAAD-Worker", "X-DAAD-Request", "Retry-After"} {
+	for _, h := range forwardedHeaders {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}

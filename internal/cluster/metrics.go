@@ -19,10 +19,14 @@ type coordMetrics struct {
 	batch      atomic.Int64
 	batchItems atomic.Int64
 	lint       atomic.Int64
+	explore    atomic.Int64
 	explain    atomic.Int64
 	healthz    atomic.Int64
 	metricsReq atomic.Int64
 	clusterReq atomic.Int64
+	// coalesced counts requests that rode another request's upstream call
+	// instead of forwarding their own.
+	coalesced atomic.Int64
 
 	ok2xx  atomic.Int64
 	err4xx atomic.Int64
@@ -52,6 +56,7 @@ type MetricsResponse struct {
 	Responses   serve.ResponseCounts `json:"responses"`
 	Failovers   int64                `json:"failovers"`
 	Unrouted    int64                `json:"unrouted"`
+	Coalesced   int64                `json:"coalesced"`
 	Transitions int64                `json:"ringTransitions"`
 	Ring        RingInfo             `json:"ring"`
 	Peers       []PeerMetrics        `json:"peers"`
@@ -63,6 +68,7 @@ type RequestCounts struct {
 	Batch      int64 `json:"batch"`
 	BatchItems int64 `json:"batchItems"`
 	Lint       int64 `json:"lint"`
+	Explore    int64 `json:"explore"`
 	Explain    int64 `json:"explain"`
 	Healthz    int64 `json:"healthz"`
 	Metrics    int64 `json:"metrics"`
@@ -131,6 +137,7 @@ func (co *Coordinator) Metrics() MetricsResponse {
 			Batch:      m.batch.Load(),
 			BatchItems: m.batchItems.Load(),
 			Lint:       m.lint.Load(),
+			Explore:    m.explore.Load(),
 			Explain:    m.explain.Load(),
 			Healthz:    m.healthz.Load(),
 			Metrics:    m.metricsReq.Load(),
@@ -143,6 +150,7 @@ func (co *Coordinator) Metrics() MetricsResponse {
 		},
 		Failovers:   m.failovers.Load(),
 		Unrouted:    m.unrouted.Load(),
+		Coalesced:   m.coalesced.Load(),
 		Transitions: m.transitions.Load(),
 		Ring:        RingInfo{Members: ring.Members(), Vnodes: ringVnodes},
 	}

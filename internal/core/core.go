@@ -73,6 +73,11 @@ type Options struct {
 	// provenance index; Result.Journal and Result.Provenance are nil
 	// without it. Off by default: the hot path pays only a nil check.
 	Journal bool
+	// FoldSlack loosens the cleanup phase's ALU-fold admission: a fold is
+	// taken when the estimated gate cost after folding is at most
+	// before+FoldSlack. Zero reproduces the prototype's "never bloat the
+	// interconnect" rule; positive values trade mux gates for fewer units.
+	FoldSlack float64
 }
 
 // PhaseStats records one phase's execution for experiment E3.

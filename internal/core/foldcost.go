@@ -66,7 +66,8 @@ func unitGates(width int, fns map[vt.OpKind]bool) float64 {
 }
 
 // foldSaves reports whether folding u2 into u1 does not increase the
-// estimated gate-equivalent cost of the units plus their operand muxes.
+// estimated gate-equivalent cost of the units plus their operand muxes by
+// more than Options.FoldSlack gate equivalents (zero by default).
 func (s *synth) foldSaves(u1, u2 *rtl.Unit) bool {
 	s1 := s.portSources(u1)
 	s2 := s.portSources(u2)
@@ -100,5 +101,5 @@ func (s *synth) foldSaves(u1, u2 *rtl.Unit) bool {
 		}
 		after += muxGates(union, width)
 	}
-	return after <= before
+	return after <= before+s.opt.FoldSlack
 }

@@ -406,7 +406,7 @@ func (s *synth) applyEffect(name string, args []any) (any, error) {
 }
 
 // Replay re-applies a recorded journal against a fresh, unrefined trace
-// (the same one the recorded run started from — flow.Front hands out
+// (the same one the recorded run started from — flow.FrontEnd hands out
 // identical clones) and returns the reproduced design. Rule left-hand
 // sides are never re-matched: only the journaled effects run, followed by
 // the same deterministic post-phase hooks as Synthesize. The result must

@@ -538,6 +538,9 @@ func All(ctx context.Context, w io.Writer) error {
 	if err := RenderE9(ctx, w); err != nil {
 		return err
 	}
+	if err := RenderE10(ctx, w, "mcs6502"); err != nil {
+		return err
+	}
 	if err := RenderStageTiming(ctx, w); err != nil {
 		return err
 	}

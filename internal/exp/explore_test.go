@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestE10FrontShape pins the exploration harness on a small benchmark:
+// all 12 grid points evaluate, the paper's configuration is present, and
+// the frontier is non-empty and within the evaluated set.
+func TestE10FrontShape(t *testing.T) {
+	front, err := E10(context.Background(), "gcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(front.Points); got != 12 {
+		t.Fatalf("%d grid points, want 12", got)
+	}
+	if front.Failed != 0 {
+		for _, p := range front.Points {
+			if p.Failed {
+				t.Errorf("point %s failed: %s", p.KnobKey, p.Err)
+			}
+		}
+		t.Fatalf("%d of %d points failed", front.Failed, len(front.Points))
+	}
+	if front.Frontier < 1 || front.Frontier > front.Evaluated {
+		t.Errorf("frontier size %d outside [1, %d]", front.Frontier, front.Evaluated)
+	}
+	var paper bool
+	for _, p := range front.Points {
+		if p.KnobKey == e10PaperKey {
+			paper = true
+			if p.OptionsKey == "" {
+				t.Error("paper point has no options key")
+			}
+		}
+	}
+	if !paper {
+		t.Errorf("grid is missing the paper's configuration %q", e10PaperKey)
+	}
+}
+
+// TestRenderE10 pins the table's shape and the paper-point marker.
+func TestRenderE10(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderE10(context.Background(), &sb, "gcd"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"E10 (extension)", "allocator", "cost (GE)", "front",
+		"<- paper", "Pareto frontier",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E10 table missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "0 failed") {
+		t.Errorf("E10 table reports failures:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Errorf("E10 table has no frontier rows:\n%s", out)
+	}
+}

@@ -30,7 +30,7 @@ func TestFrontCacheLRUBound(t *testing.T) {
 
 	ctx := context.Background()
 	for i := 0; i < 3; i++ {
-		if _, err := flow.Front(ctx, probeInput(i)); err != nil {
+		if _, err := flow.FrontEnd(ctx, probeInput(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -44,10 +44,10 @@ func TestFrontCacheLRUBound(t *testing.T) {
 
 	// Probe 0 was least recently used and must have been evicted: loading
 	// it again is a miss. Probe 2 is still resident: a hit.
-	if _, err := flow.Front(ctx, probeInput(0)); err != nil {
+	if _, err := flow.FrontEnd(ctx, probeInput(0)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := flow.Front(ctx, probeInput(2)); err != nil {
+	if _, err := flow.FrontEnd(ctx, probeInput(2)); err != nil {
 		t.Fatal(err)
 	}
 	st = flow.FrontCacheStats()
@@ -70,7 +70,7 @@ func TestSetCacheCapEvictsImmediately(t *testing.T) {
 	})
 	ctx := context.Background()
 	for i := 0; i < 5; i++ {
-		if _, err := flow.Front(ctx, probeInput(i)); err != nil {
+		if _, err := flow.FrontEnd(ctx, probeInput(i)); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -242,10 +242,11 @@ func Compile(ctx context.Context, in Input, opt Options) (*Result, error) {
 	return res, nil
 }
 
-// Front runs the front half of the pipeline — parse → sema → build →
+// FrontEnd runs the front half of the pipeline — parse → sema → build →
 // validate — through the artifact cache and returns a private clone of the
 // value trace. It is the loading path of internal/bench and cmd/vtdump.
-func Front(ctx context.Context, in Input) (*vt.Program, error) {
+// (The Front type, by contrast, is the Pareto front Explore returns.)
+func FrontEnd(ctx context.Context, in Input) (*vt.Program, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

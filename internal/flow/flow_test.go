@@ -174,11 +174,11 @@ func TestCompileCancelledBetweenEngineCycles(t *testing.T) {
 
 func TestFrontCloneIsolation(t *testing.T) {
 	in := mustInput(t, "counter")
-	a, err := flow.Front(context.Background(), in)
+	a, err := flow.FrontEnd(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := flow.Front(context.Background(), in)
+	b, err := flow.FrontEnd(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +193,7 @@ func TestFrontCloneIsolation(t *testing.T) {
 	if b.OpCount() != before {
 		t.Errorf("cached artifact mutated through a clone: %d -> %d ops", before, b.OpCount())
 	}
-	c, err := flow.Front(context.Background(), in)
+	c, err := flow.FrontEnd(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,27 +26,36 @@ func (in Input) ContentHash() [sha256.Size]byte {
 
 // Key canonicalizes the options that determine a compilation's result into
 // a stable string: equal option sets always produce equal keys, and
-// distinct option sets (different allocator, ablations, matcher mode,
-// scheduler limits, cost model, or emit/cosim stage selection) never
-// share one. Defaults are
-// normalized — the zero Options and an explicit {Allocator: "daa"} key
-// identically — so result caches keyed by (Input.ContentHash, Options.Key)
-// hit across equivalent spellings.
+// distinct option sets (different allocator, scheduler, ablations, matcher
+// mode, scheduler limits, cost model, fold slack, or emit/cosim stage
+// selection) never share one. Key is built from the canonical knob
+// encoding (Options.Knobs), so defaults are normalized — the zero Options
+// and an explicit {Allocator: "daa"} key identically — and result caches
+// keyed by (Input.ContentHash, Options.Key) hit across equivalent
+// spellings. Knobs still at their default (scheduler, fold-slack) write no
+// fragment, so keys for pre-existing option sets are byte-identical to
+// what earlier releases produced (the golden key tests pin this).
+//
+// The limits fragments are written from the raw Core/Alloc fields rather
+// than the knob view: the knob space sets both in lockstep, but hand-built
+// option sets may diverge them, and the key must separate those too.
 //
 // Key covers only declarative options. Live state that cannot be
 // canonicalized — a firing-trace writer, extra rules — is flagged by
 // Cacheable; NoCache and Core.ParallelMatch are compilation-path toggles
 // that never change the result and are excluded.
 func (o Options) Key() string {
+	k := o.Knobs()
 	var b strings.Builder
-	alloc := o.Allocator
-	if alloc == "" {
-		alloc = AllocDAA
+	fmt.Fprintf(&b, "alloc=%s", k["allocator"])
+	fmt.Fprintf(&b, ";trace-rules=%s;cleanup=%s;exhaustive=%s;lite=%s;crosscheck=%s;journal=%s",
+		k["trace-rules"], k["cleanup"], k["exhaustive"], k["lite"], k["crosscheck"], k["journal"])
+	if v := k["scheduler"]; v != sched.SchedList {
+		fmt.Fprintf(&b, ";scheduler=%s", v)
 	}
-	fmt.Fprintf(&b, "alloc=%s", alloc)
-	fmt.Fprintf(&b, ";trace-rules=%t;cleanup=%t;exhaustive=%t;lite=%t;crosscheck=%t;journal=%t",
-		!o.Core.DisableTraceRules, !o.Core.DisableCleanup,
-		o.Core.ExhaustiveMatch, o.Core.LiteMatch, o.Core.CrossCheckMatch, o.Core.Journal)
+	if v := k["fold-slack"]; v != "0" {
+		fmt.Fprintf(&b, ";fold-slack=%s", v)
+	}
 	b.WriteString(";core-limits=")
 	writeLimits(&b, o.Core.Limits)
 	b.WriteString(";alloc-limits=")

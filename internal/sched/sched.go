@@ -9,6 +9,12 @@
 // ASAP and ALAP give the unconstrained extremes and mobility; List performs
 // resource-constrained list scheduling honoring per-operation-kind unit
 // caps, single-ported memories, and one-write-per-register-per-step.
+//
+// Schedulers are addressable by name (SchedList, SchedASAP, SchedALAP) so
+// callers can sweep the scheduling policy as an option. Infeasible inputs
+// (a too-short ALAP length, limits the list scheduler cannot make progress
+// under) are reported as errors, never panics: a server sweeping aggressive
+// limits must see a failed point, not a crashed daemon.
 package sched
 
 import (
@@ -17,6 +23,20 @@ import (
 
 	"repro/internal/vt"
 )
+
+// Named scheduling policies, the domain of the flow "scheduler" knob.
+const (
+	// SchedList is resource-constrained list scheduling (the default).
+	SchedList = "list"
+	// SchedASAP schedules as early as dependences permit, ignoring Limits.
+	SchedASAP = "asap"
+	// SchedALAP schedules as late as dependences permit within the ASAP
+	// length, ignoring Limits.
+	SchedALAP = "alap"
+)
+
+// Schedulers lists the valid scheduler names, default first.
+func Schedulers() []string { return []string{SchedList, SchedASAP, SchedALAP} }
 
 // Limits bounds the resources the list scheduler may assume per step.
 // The zero value means: unlimited units, single-ported memories.
@@ -77,9 +97,9 @@ func ASAP(b *vt.Body) *Schedule {
 }
 
 // ALAP schedules each operator as late as dependences permit within the
-// given schedule length (typically the ASAP length). It panics if length
-// is infeasible.
-func ALAP(b *vt.Body, length int) *Schedule {
+// given schedule length (typically the ASAP length). An infeasible length
+// is an error.
+func ALAP(b *vt.Body, length int) (*Schedule, error) {
 	if length <= 0 {
 		length = 1
 	}
@@ -99,7 +119,7 @@ func ALAP(b *vt.Body, length int) *Schedule {
 			}
 		}
 		if step < 0 {
-			panic(fmt.Sprintf("sched: ALAP length %d infeasible for body %s", length, b.Name))
+			return nil, fmt.Errorf("sched: ALAP length %d infeasible for body %s", length, b.Name)
 		}
 		s.OfOp[op] = step
 		s.Steps[step] = append(s.Steps[step], op)
@@ -108,7 +128,7 @@ func ALAP(b *vt.Body, length int) *Schedule {
 	for _, ops := range s.Steps {
 		sort.Slice(ops, func(i, j int) bool { return ops[i].Seq < ops[j].Seq })
 	}
-	return s
+	return s, nil
 }
 
 func successors(b *vt.Body) map[*vt.Op][]*vt.Op {
@@ -123,32 +143,38 @@ func successors(b *vt.Body) map[*vt.Op][]*vt.Op {
 
 // Mobility returns ALAP(op) - ASAP(op) for every operator of the body —
 // the slack the list scheduler uses as its priority.
-func Mobility(b *vt.Body) map[*vt.Op]int {
+func Mobility(b *vt.Body) (map[*vt.Op]int, error) {
 	asap := ASAP(b)
-	alap := ALAP(b, asap.Len())
+	alap, err := ALAP(b, asap.Len())
+	if err != nil {
+		return nil, err
+	}
 	m := make(map[*vt.Op]int, len(b.Ops))
 	for _, op := range b.Ops {
 		m[op] = alap.OfOp[op] - asap.OfOp[op]
 	}
-	return m
+	return m, nil
 }
 
 // List performs resource-constrained list scheduling: operators become
 // ready when their dependences are satisfied and are packed into the
 // current step by ascending mobility (critical path first), subject to the
 // limits.
-func List(b *vt.Body, lim Limits) *Schedule {
+func List(b *vt.Body, lim Limits) (*Schedule, error) {
 	if len(b.Ops) == 0 {
-		return &Schedule{Body: b, OfOp: map[*vt.Op]int{}}
+		return &Schedule{Body: b, OfOp: map[*vt.Op]int{}}, nil
 	}
-	mobility := Mobility(b)
+	mobility, err := Mobility(b)
+	if err != nil {
+		return nil, err
+	}
 	s := &Schedule{Body: b, OfOp: make(map[*vt.Op]int, len(b.Ops))}
 	scheduled := make(map[*vt.Op]bool, len(b.Ops))
 	remaining := len(b.Ops)
 
 	for step := 0; remaining > 0; step++ {
 		if step > 4*len(b.Ops)+4 {
-			panic(fmt.Sprintf("sched: list scheduler stuck on body %s", b.Name))
+			return nil, fmt.Errorf("sched: list scheduler stuck on body %s (limits leave %d ops unplaceable)", b.Name, remaining)
 		}
 		var placed []*vt.Op
 		usedKind := map[vt.OpKind]int{}
@@ -193,7 +219,22 @@ func List(b *vt.Body, lim Limits) *Schedule {
 		sort.Slice(placed, func(i, j int) bool { return placed[i].Seq < placed[j].Seq })
 		s.Steps = append(s.Steps, placed)
 	}
-	return s
+	return s, nil
+}
+
+// For schedules one body under the named policy. ASAP and ALAP ignore the
+// limits; an unknown name is an error.
+func For(name string, b *vt.Body, lim Limits) (*Schedule, error) {
+	switch name {
+	case "", SchedList:
+		return List(b, lim)
+	case SchedASAP:
+		return ASAP(b), nil
+	case SchedALAP:
+		return ALAP(b, ASAP(b).Len())
+	default:
+		return nil, fmt.Errorf("sched: unknown scheduler %q (want list, asap, or alap)", name)
+	}
 }
 
 // readyOps returns unscheduled operators whose dependences allow placement
@@ -314,13 +355,23 @@ func (s *Schedule) Verify(lim Limits) error {
 	return nil
 }
 
-// Program schedules every body of a trace with the same limits.
-func Program(p *vt.Program, lim Limits) map[*vt.Body]*Schedule {
+// Program schedules every body of a trace with the same limits using the
+// list scheduler.
+func Program(p *vt.Program, lim Limits) (map[*vt.Body]*Schedule, error) {
+	return ProgramWith(SchedList, p, lim)
+}
+
+// ProgramWith schedules every body of a trace under the named policy.
+func ProgramWith(name string, p *vt.Program, lim Limits) (map[*vt.Body]*Schedule, error) {
 	out := make(map[*vt.Body]*Schedule, len(p.Bodies))
 	for _, b := range p.Bodies {
-		out[b] = List(b, lim)
+		s, err := For(name, b, lim)
+		if err != nil {
+			return nil, err
+		}
+		out[b] = s
 	}
-	return out
+	return out, nil
 }
 
 // TotalSteps sums the step counts of a program schedule.

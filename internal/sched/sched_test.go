@@ -76,7 +76,10 @@ func TestALAPWithinASAPLength(t *testing.T) {
 	tr := trace(t, "reg A<7:0> reg B<7:0> reg C<7:0>",
 		"A := B + 1\nC := A\nB := C and 3")
 	asap := ASAP(tr.Main)
-	alap := ALAP(tr.Main, asap.Len())
+	alap, err := ALAP(tr.Main, asap.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := alap.Verify(Limits{}); err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +96,11 @@ func TestALAPWithinASAPLength(t *testing.T) {
 func TestMobilityNonNegative(t *testing.T) {
 	tr := trace(t, "reg A<7:0> reg B<7:0> reg C<7:0>",
 		"C := (A + B) and (A xor B)\nA := C")
-	for op, m := range Mobility(tr.Main) {
+	mob, err := Mobility(tr.Main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op, m := range mob {
 		if m < 0 {
 			t.Errorf("op %s has negative mobility %d", op, m)
 		}
@@ -106,14 +113,14 @@ func TestListRespectsUnitCap(t *testing.T) {
 	tr := trace(t, "reg A<7:0> reg B<7:0> reg C<7:0> reg D<7:0>",
 		"A := A + 1\nB := B + 1\nC := C + 1\nD := D + 1")
 	lim := Limits{UnitsPerKind: map[vt.OpKind]int{vt.OpAdd: 1}}
-	s := List(tr.Main, lim)
+	s := mustList(t, tr.Main, lim)
 	if err := s.Verify(lim); err != nil {
 		t.Fatal(err)
 	}
 	if s.Len() < 4 {
 		t.Errorf("steps %d, want >= 4 with a single adder", s.Len())
 	}
-	free := List(tr.Main, Limits{})
+	free := mustList(t, tr.Main, Limits{})
 	if err := free.Verify(Limits{}); err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +132,7 @@ func TestListRespectsUnitCap(t *testing.T) {
 func TestListSinglePortedMemory(t *testing.T) {
 	tr := trace(t, "mem M[0:7]<7:0> reg A<7:0> reg B<7:0> reg P<2:0> reg Q<2:0>",
 		"A := M[P]\nB := M[Q]")
-	s := List(tr.Main, Limits{})
+	s := mustList(t, tr.Main, Limits{})
 	if err := s.Verify(Limits{}); err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +147,7 @@ func TestListSinglePortedMemory(t *testing.T) {
 		t.Errorf("memread steps %v, want distinct", steps)
 	}
 	dual := Limits{MemPorts: 2}
-	s2 := List(tr.Main, dual)
+	s2 := mustList(t, tr.Main, dual)
 	if err := s2.Verify(dual); err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +159,7 @@ func TestListSinglePortedMemory(t *testing.T) {
 func TestListMaxOpsPerStep(t *testing.T) {
 	tr := trace(t, "reg A<7:0> reg B<7:0>", "A := A + 1\nB := B and 3")
 	lim := Limits{MaxOpsPerStep: 1}
-	s := List(tr.Main, lim)
+	s := mustList(t, tr.Main, lim)
 	if err := s.Verify(Limits{}); err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +174,7 @@ func TestListEmptyBody(t *testing.T) {
 	tr := trace(t, "reg A<7:0> reg Z", "if Z { A := 1 }")
 	// The implicit otherwise body is empty.
 	for _, b := range tr.Bodies {
-		s := List(b, Limits{})
+		s := mustList(t, b, Limits{})
 		if err := s.Verify(Limits{}); err != nil {
 			t.Errorf("body %s: %v", b.Name, err)
 		}
@@ -180,7 +187,10 @@ func TestListEmptyBody(t *testing.T) {
 func TestProgramSchedulesEveryBody(t *testing.T) {
 	tr := trace(t, "reg A<7:0> reg Z",
 		"if Z { A := 1 } else { A := 2 }\nwhile A neq 0 { A := A - 1 }")
-	m := Program(tr, Limits{})
+	m, err := Program(tr, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(m) != len(tr.Bodies) {
 		t.Fatalf("scheduled %d bodies, want %d", len(m), len(tr.Bodies))
 	}
@@ -245,8 +255,8 @@ func TestListScheduleProperty(t *testing.T) {
 			return false
 		}
 		lim := Limits{UnitsPerKind: map[vt.OpKind]int{vt.OpAdd: 1}}
-		constrained := List(tr.Main, lim)
-		if constrained.Verify(lim) != nil {
+		constrained, err := List(tr.Main, lim)
+		if err != nil || constrained.Verify(lim) != nil {
 			return false
 		}
 		free := ASAP(tr.Main)
@@ -281,10 +291,67 @@ func TestALAPFeasibilityProperty(t *testing.T) {
 			return false
 		}
 		asap := ASAP(tr.Main)
-		alap := ALAP(tr.Main, asap.Len())
-		return alap.Verify(Limits{}) == nil
+		alap, err := ALAP(tr.Main, asap.Len())
+		return err == nil && alap.Verify(Limits{}) == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// mustList is the test shorthand for the common always-feasible case.
+func mustList(t *testing.T, b *vt.Body, lim Limits) *Schedule {
+	t.Helper()
+	s, err := List(b, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestALAPInfeasibleLengthIsError(t *testing.T) {
+	tr := trace(t, "reg A<7:0> reg B<7:0>", "A := B\nB := A")
+	asap := ASAP(tr.Main)
+	if asap.Len() < 2 {
+		t.Fatalf("fixture too short: ASAP length %d", asap.Len())
+	}
+	if _, err := ALAP(tr.Main, asap.Len()-1); err == nil {
+		t.Fatal("ALAP accepted a length below the critical path")
+	}
+}
+
+func TestForDispatchesByName(t *testing.T) {
+	tr := trace(t, "reg A<7:0> reg B<7:0> reg C<7:0>",
+		"A := B + 1\nC := A\nB := C and 3")
+	for _, name := range append(Schedulers(), "") {
+		s, err := For(name, tr.Main, Limits{})
+		if err != nil {
+			t.Fatalf("For(%q): %v", name, err)
+		}
+		if err := s.Verify(Limits{}); err != nil {
+			t.Errorf("For(%q): %v", name, err)
+		}
+	}
+	if _, err := For("greedy", tr.Main, Limits{}); err == nil {
+		t.Fatal("unknown scheduler name accepted")
+	}
+}
+
+func TestProgramWithASAPAndALAP(t *testing.T) {
+	tr := trace(t, "reg A<7:0> reg Z",
+		"if Z { A := 1 } else { A := 2 }\nwhile A neq 0 { A := A - 1 }")
+	for _, name := range []string{SchedASAP, SchedALAP} {
+		m, err := ProgramWith(name, tr, Limits{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(m) != len(tr.Bodies) {
+			t.Fatalf("%s: scheduled %d bodies, want %d", name, len(m), len(tr.Bodies))
+		}
+		for b, s := range m {
+			if err := s.Verify(Limits{}); err != nil {
+				t.Errorf("%s body %s: %v", name, b.Name, err)
+			}
+		}
 	}
 }

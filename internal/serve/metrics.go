@@ -17,8 +17,12 @@ type metrics struct {
 	batch      atomic.Int64 // POST /v1/batch requests
 	batchItems atomic.Int64 // individual sources across batch requests
 	lintReq    atomic.Int64 // POST /v1/lint requests
-	healthz    atomic.Int64
-	metricsReq atomic.Int64
+	exploreReq atomic.Int64 // POST /v1/explore requests
+	// explorePoints counts the grid points explore requests expanded to —
+	// the daemon-side measure of sweep amplification.
+	explorePoints atomic.Int64
+	healthz       atomic.Int64
+	metricsReq    atomic.Int64
 
 	ok2xx  atomic.Int64
 	err4xx atomic.Int64
@@ -135,9 +139,13 @@ type RequestCounts struct {
 	Batch      int64 `json:"batch"`
 	BatchItems int64 `json:"batchItems"`
 	Lint       int64 `json:"lint"`
-	Explain    int64 `json:"explain"`
-	Healthz    int64 `json:"healthz"`
-	Metrics    int64 `json:"metrics"`
+	// Explore counts POST /v1/explore requests; ExplorePoints the grid
+	// points those requests expanded to.
+	Explore       int64 `json:"explore"`
+	ExplorePoints int64 `json:"explorePoints"`
+	Explain       int64 `json:"explain"`
+	Healthz       int64 `json:"healthz"`
+	Metrics       int64 `json:"metrics"`
 }
 
 // ResponseCounts breaks responses down by status class.
@@ -186,13 +194,15 @@ func (s *Server) Metrics() MetricsResponse {
 	return MetricsResponse{
 		UptimeMS: ms(time.Since(s.start)),
 		Requests: RequestCounts{
-			Synthesize: m.synthesize.Load(),
-			Batch:      m.batch.Load(),
-			BatchItems: m.batchItems.Load(),
-			Lint:       m.lintReq.Load(),
-			Explain:    m.explainReq.Load(),
-			Healthz:    m.healthz.Load(),
-			Metrics:    m.metricsReq.Load(),
+			Synthesize:    m.synthesize.Load(),
+			Batch:         m.batch.Load(),
+			BatchItems:    m.batchItems.Load(),
+			Lint:          m.lintReq.Load(),
+			Explore:       m.exploreReq.Load(),
+			ExplorePoints: m.explorePoints.Load(),
+			Explain:       m.explainReq.Load(),
+			Healthz:       m.healthz.Load(),
+			Metrics:       m.metricsReq.Load(),
 		},
 		Responses: ResponseCounts{
 			OK2xx:  m.ok2xx.Load(),

@@ -47,6 +47,10 @@ type Config struct {
 	MaxDeadline time.Duration
 	// MaxBatch bounds sources per batch request (default 256).
 	MaxBatch int
+	// MaxGridPoints bounds the expanded grid of one explore request
+	// (default DefaultMaxGridPoints); past it the request answers 413.
+	// Negative disables /v1/explore entirely (every grid is too large).
+	MaxGridPoints int
 	// ParallelMatch shards the production engine's Rete beta propagation
 	// across this many workers for every synthesis (0 = serial). A server
 	// setting rather than a request option: it never changes results, only
@@ -75,6 +79,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 256
+	}
+	if c.MaxGridPoints == 0 {
+		c.MaxGridPoints = DefaultMaxGridPoints
 	}
 	if c.Logger == nil {
 		c.Logger = log.New(io.Discard, "", 0)
@@ -157,6 +164,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/lint", s.handleLint)
+	mux.HandleFunc("POST /v1/explore", s.handleExplore)
 	mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)

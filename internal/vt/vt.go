@@ -141,6 +141,17 @@ func (k OpKind) String() string {
 	return fmt.Sprintf("op(%d)", int(k))
 }
 
+// OpKindByName parses the wire spelling of an operator kind — the inverse
+// of String for the kinds String names.
+func OpKindByName(name string) (OpKind, bool) {
+	for k, n := range opKindNames {
+		if n == name {
+			return OpKind(k), true
+		}
+	}
+	return 0, false
+}
+
 // IsCompute reports whether the operator performs a data computation that
 // requires a functional unit (as opposed to storage access, wiring, or
 // control structure).

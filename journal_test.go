@@ -111,7 +111,7 @@ func FuzzJournalReplay(f *testing.F) {
 		if err != nil {
 			t.Skip() // invalid input: the front end rejected it
 		}
-		fresh, err := flow.Front(t.Context(), in)
+		fresh, err := flow.FrontEnd(t.Context(), in)
 		if err != nil {
 			t.Fatalf("front end accepted then rejected the same source: %v", err)
 		}
